@@ -1,0 +1,71 @@
+"""A2 — Ablation: resynchronisation-buffer sizing vs flag density.
+
+The paper claims "an extremely low resynchronisation buffer and
+backpressure scheme" suffice.  This ablation sweeps payload escape
+density from 0 to 1 (worst case) and records the buffer's high-water
+mark and the achieved rates: the buffer never needs more than its
+structural minimum of 3 words regardless of traffic, because
+backpressure throttles intake instead of buffering the burst.
+"""
+
+from conftest import emit
+
+from repro.analysis import measure_escape_throughput
+from repro.core.config import P5Config
+from repro.core.escape_pipeline import PipelinedEscapeGenerate
+from repro.rtl import Channel, Simulator, StreamSink, StreamSource, beats_from_bytes
+from repro.workloads import flag_density_payload
+
+DENSITIES = (0.0, 0.01, 0.1, 0.25, 0.5, 1.0)
+PAYLOAD = 12_000
+
+
+def run_density(density: float):
+    payload = flag_density_payload(PAYLOAD, density, seed=7)
+    c_in, c_out = Channel("in", capacity=2), Channel("out", capacity=2)
+    src = StreamSource("src", c_in, beats_from_bytes(payload, 4))
+    unit = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
+    sink = StreamSink("sink", c_out)
+    sim = Simulator([src, unit, sink], [c_in, c_out])
+    sim.run_until(
+        lambda: src.done and unit.idle and not c_in.can_pop and not c_out.can_pop,
+        timeout=PAYLOAD * 20,
+    )
+    return {
+        "density": density,
+        "high_water": unit.max_resync_occupancy,
+        "carry_high_water": unit.max_carry_occupancy,
+        "in_rate": unit.bytes_in / sim.cycle,
+        "out_rate": unit.bytes_out / sim.cycle,
+        "stalls": unit.stalled_cycles,
+    }
+
+
+def sweep():
+    return [run_density(d) for d in DENSITIES]
+
+
+def test_ablation_a2_buffer(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        f"{'density':>8} {'resync hw (words)':>18} {'carry hw (B)':>13} "
+        f"{'in B/cyc':>9} {'out B/cyc':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['density']:>8.2f} {r['high_water']:>18} "
+            f"{r['carry_high_water']:>13} {r['in_rate']:>9.3f} "
+            f"{r['out_rate']:>10.3f}"
+        )
+    lines.append("")
+    lines.append("buffer demand is flat at <= 3 words (12 bytes) even at the")
+    lines.append("all-flag worst case: backpressure, not memory, absorbs the")
+    lines.append("expansion — the paper's low-memory claim")
+    emit("Ablation A2 — resync buffer vs escape density", "\n".join(lines))
+
+    assert all(r["high_water"] <= 3 for r in rows)
+    # Output rate stays near line rate across the sweep.
+    assert all(r["out_rate"] > 3.8 for r in rows)
+    # Intake degrades smoothly to half at density 1.0.
+    assert rows[-1]["in_rate"] < 2.1
+    assert rows[0]["in_rate"] > 3.9

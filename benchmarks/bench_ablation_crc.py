@@ -1,0 +1,74 @@
+"""A3 — Ablation: CRC engine implementations.
+
+The paper uses the Pei–Zukowski parallel matrix (its reference [3])
+because a serial LFSR cannot keep up with 4 bytes/cycle.  This
+ablation compares the three software engines on equal work and checks
+the structural facts that motivate the hardware choice: matrix steps
+per frame scale as 1/W, and the XOR-forest cost read off the real
+matrices grows sublinearly in W (which is why wide CRC is cheap
+relative to the byte sorter).
+"""
+
+from conftest import emit
+
+from repro.crc import CRC32, BitSerialCrc, ParallelCrc, TableCrc, build_matrices
+from repro.synth.primitives import xor_tree_luts
+from repro.workloads import random_payload
+
+PAYLOAD = random_payload(4096, seed=3)
+
+
+def test_ablation_a3_bitserial(benchmark):
+    engine = BitSerialCrc(CRC32)
+    result = benchmark(engine.compute, PAYLOAD)
+    assert result == TableCrc(CRC32).compute(PAYLOAD)
+
+
+def test_ablation_a3_table(benchmark):
+    engine = TableCrc(CRC32)
+    result = benchmark(engine.compute, PAYLOAD)
+    assert result == BitSerialCrc(CRC32).compute(PAYLOAD)
+
+
+def test_ablation_a3_matrix_w8(benchmark):
+    engine = ParallelCrc(CRC32, 8)
+    result = benchmark(engine.compute, PAYLOAD)
+    assert result == TableCrc(CRC32).compute(PAYLOAD)
+
+
+def test_ablation_a3_matrix_w32(benchmark):
+    engine = ParallelCrc(CRC32, 32)
+    result = benchmark(engine.compute, PAYLOAD)
+    assert result == TableCrc(CRC32).compute(PAYLOAD)
+
+
+def test_ablation_a3_structure(benchmark):
+    def analyse():
+        rows = []
+        for width in (8, 16, 32, 64):
+            matrices = build_matrices(CRC32, width)
+            fanins = matrices.xor_fanin_per_output()
+            luts = sum(xor_tree_luts(int(f)) for f in fanins)
+            steps = (len(PAYLOAD) * 8 + width - 1) // width
+            rows.append((width, steps, float(fanins.mean()),
+                         int(fanins.max()), luts))
+        return rows
+
+    rows = benchmark(analyse)
+    lines = [
+        f"{'W bits':>7} {'steps/4KB':>10} {'avg fanin':>10} "
+        f"{'max fanin':>10} {'tree LUTs':>10}"
+    ]
+    for width, steps, mean_f, max_f, luts in rows:
+        lines.append(
+            f"{width:>7} {steps:>10} {mean_f:>10.1f} {max_f:>10} {luts:>10}"
+        )
+    lines.append("")
+    lines.append("steps fall as 1/W (hardware cycles per frame) while the")
+    lines.append("XOR forest grows ~linearly: wide CRC is cheap, so the byte")
+    lines.append("sorter, not the CRC, dominates the 32-bit P5's area")
+    emit("Ablation A3 — CRC engine structure", "\n".join(lines))
+
+    by_width = {w: (s, l) for w, s, _, _, l in rows}
+    assert by_width[32][0] * 4 == by_width[8][0]          # steps scale 1/W
+    assert by_width[32][1] < 8 * by_width[8][1]           # LUTs sublinear in 4x

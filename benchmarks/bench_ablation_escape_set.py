@@ -1,0 +1,58 @@
+"""A4 — Ablation: programmable escape-set size (ACCM cost).
+
+The escape set is programmable (flag + escape + any ACCM-selected
+control octets).  Each extra escapable octet costs one more comparator
+per lane in the detect stage *and* reduces sustained intake on
+payloads containing those octets (each occurrence expands the
+stream).  This ablation sweeps the ACCM from empty (the SONET case the
+paper optimises) to the full async default (all 32 control octets).
+"""
+
+from conftest import emit
+
+from repro.analysis import measure_escape_throughput
+from repro.core.config import P5Config
+from repro.synth import escape_generate_area
+from repro.workloads import random_payload
+
+ACCM_SIZES = (0, 4, 8, 16, 32)
+
+
+def sweep():
+    payload = random_payload(20_000, seed=5)
+    rows = []
+    for count in ACCM_SIZES:
+        mask = (1 << count) - 1
+        config = P5Config(width_bits=32, accm_mask=mask)
+        area = escape_generate_area(config)
+        thr = measure_escape_throughput(payload, config)
+        density = len(config.escape_octets) / 256
+        rows.append((count, len(config.escape_octets), area.luts,
+                     thr.input_bytes_per_cycle, density))
+    return rows
+
+
+def test_ablation_a4_escape_set(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        f"{'ACCM octets':>12} {'escape set':>11} {'escgen LUTs':>12} "
+        f"{'in B/cyc':>9} {'escape density':>15}"
+    ]
+    for count, set_size, luts, rate, density in rows:
+        lines.append(
+            f"{count:>12} {set_size:>11} {luts:>12} {rate:>9.3f} "
+            f"{density:>15.4f}"
+        )
+    lines.append("")
+    lines.append("the SONET configuration (empty ACCM) the paper targets is")
+    lines.append("both the smallest detect stage and the highest intake rate;")
+    lines.append("the async default costs ~linear LUTs and ~13% intake on")
+    lines.append("uniform random payloads")
+    emit("Ablation A4 — escape-set size (ACCM programmability)", "\n".join(lines))
+
+    by_count = {c: (l, r) for c, _, l, r, _ in rows}
+    assert by_count[32][0] > by_count[0][0]          # area grows
+    assert by_count[32][1] < by_count[0][1]          # intake shrinks
+    # Expected intake at density d is W/(1+d): check the model tracks it.
+    expected = 4 / (1 + 34 / 256)
+    assert abs(by_count[32][1] - expected) < 0.1

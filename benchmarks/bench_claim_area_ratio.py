@@ -1,0 +1,43 @@
+"""C3 — Area scaling: the 32-bit system is ~11x the 8-bit system,
+driven by the byte sorter's decision logic, not by the 4x datapath.
+
+Sweeps the area model over widths 8/16/32/64 (the 64-bit point is our
+extension — what an OC-96 P5 would cost) and breaks the 32-bit system
+down by module group.
+"""
+
+from conftest import emit
+
+from repro.core.config import P5Config
+from repro.synth import escape_generate_area, system_area
+
+
+def sweep():
+    systems = {w: system_area(P5Config(width_bits=w)) for w in (8, 16, 32, 64)}
+    escapes = {
+        w: escape_generate_area(P5Config(width_bits=w)) for w in (8, 16, 32, 64)
+    }
+    return systems, escapes
+
+
+def test_claim_c3_area_ratio(benchmark):
+    systems, escapes = benchmark(sweep)
+    base = systems[8].luts
+    lines = [f"{'width':>6} {'sys LUTs':>9} {'vs 8-bit':>9} {'escgen LUTs':>12}"]
+    for w, netlist in systems.items():
+        lines.append(
+            f"{w:>6} {netlist.luts:>9} {netlist.luts / base:>8.1f}x "
+            f"{escapes[w].luts:>12}"
+        )
+    lines.append("")
+    lines.append("32-bit system by module group:")
+    lines.append(systems[32].table())
+    lines.append("")
+    lines.append("paper: 32-bit system ~11x the 8-bit system; growth 'mainly")
+    lines.append("       due to the byte sorter and buffering mechanisms'")
+    emit("Claim C3 — area ratio sweep", "\n".join(lines))
+
+    ratio = systems[32].luts / systems[8].luts
+    assert 9 <= ratio <= 13
+    # Quadratic trend continues: 64-bit much more than 2x the 32-bit.
+    assert systems[64].luts > 2.5 * systems[32].luts

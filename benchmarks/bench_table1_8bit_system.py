@@ -1,0 +1,33 @@
+"""T1 — Paper Table 1: the 8-bit P5 implementation.
+
+Paper anchors (reconstructed from utilization percentages): ~179 LUTs
+(12 % of XCV50-4, 35 % of XC2V40-6) and ~84 FFs, pre- and post-layout,
+with f_max comfortably above the 78.125 MHz requirement on both
+families at this width.
+"""
+
+from conftest import emit
+
+from repro.core.config import P5Config
+from repro.synth import synthesize, system_area
+from repro.synth.report import format_table
+
+DEVICES = ("XCV50-4", "XC2V40-6")
+
+
+def build_reports():
+    netlist = system_area(P5Config.eight_bit())
+    return netlist, [synthesize(netlist, d) for d in DEVICES]
+
+
+def test_table1(benchmark):
+    netlist, reports = benchmark(build_reports)
+    emit(
+        "Table 1 — P5 8-bit implementation",
+        format_table("8-Bit System", reports)
+        + f"\n\npaper anchors: ~179 LUTs / ~84 FFs"
+        + f"\nmodel:          {netlist.luts} LUTs / {netlist.ffs} FFs",
+    )
+    for report in reports:
+        assert report.timing.meets(78.125), "625 Mbps needs 78.125 MHz"
+    assert 140 <= netlist.luts <= 260

@@ -1,0 +1,37 @@
+"""T2 — Paper Table 2: the 32-bit P5 implementation.
+
+Paper anchors: ~2230 LUTs pre-layout (16 % of XCV600-4, 20 % of
+XC2V1000-6), FFs in the 680-850 band, and — the conclusion's headline —
+timing closure at 78.125 MHz only on Virtex-II.
+"""
+
+from conftest import emit
+
+from repro.core.config import P5Config
+from repro.synth import synthesize, system_area
+from repro.synth.report import format_table
+
+DEVICES = ("XCV600-4", "XC2V1000-6")
+
+
+def build_reports():
+    netlist = system_area(P5Config.thirty_two_bit())
+    return netlist, [synthesize(netlist, d) for d in DEVICES]
+
+
+def test_table2(benchmark):
+    netlist, reports = benchmark(build_reports)
+    virtex, virtex2 = reports
+    emit(
+        "Table 2 — P5 32-bit implementation",
+        format_table("32-Bit System", reports)
+        + "\n\npaper anchors: ~2230 LUTs pre-layout; ~25% of an XC2V1000;"
+        + "\n               78.125 MHz met on Virtex-II only"
+        + f"\nmodel:          {netlist.luts} LUTs / {netlist.ffs} FFs; "
+        + f"{virtex2.lut_pct:.0f}% of XC2V1000; "
+        + f"Virtex {virtex.timing.fmax_post_mhz:.0f} MHz / "
+        + f"Virtex-II {virtex2.timing.fmax_post_mhz:.0f} MHz",
+    )
+    assert not virtex.timing.meets(78.125)
+    assert virtex2.timing.meets(78.125)
+    assert 1800 <= netlist.luts <= 2600

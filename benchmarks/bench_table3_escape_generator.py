@@ -1,0 +1,46 @@
+"""T3 — Paper Table 3: Escape Generate module, 32-bit vs 8-bit on the
+XC2V40.
+
+Paper values: 32-bit 492 LUTs (96 %) / 168 FFs (32 %); 8-bit 22 LUTs
+(4 %) / 6 FFs (~1 %) — "25 times more combinational logic and 28 times
+as many flip-flops".
+"""
+
+from conftest import emit
+
+from repro.core.config import P5Config
+from repro.synth import escape_generate_area, synthesize
+
+
+def build_reports():
+    eg8 = escape_generate_area(P5Config.eight_bit())
+    eg32 = escape_generate_area(P5Config.thirty_two_bit())
+    return (
+        eg8,
+        eg32,
+        synthesize(eg8, "XC2V40-6"),
+        synthesize(eg32, "XC2V40-6", allow_overflow=True),
+    )
+
+
+def test_table3(benchmark):
+    eg8, eg32, rep8, rep32 = benchmark(build_reports)
+    lut_ratio = eg32.luts / eg8.luts
+    ff_ratio = eg32.ffs / eg8.ffs
+    body = (
+        f"{'design':<22} {'LUTs':>12} {'FFs':>12}\n"
+        f"{'32-bit (paper)':<22} {'492 (96%)':>12} {'168 (32%)':>12}\n"
+        f"{'32-bit (model)':<22} "
+        f"{f'{eg32.luts} ({rep32.lut_pct:.0f}%)':>12} "
+        f"{f'{eg32.ffs} ({rep32.ff_pct:.0f}%)':>12}\n"
+        f"{'8-bit  (paper)':<22} {'22 (4%)':>12} {'6 (~1%)':>12}\n"
+        f"{'8-bit  (model)':<22} "
+        f"{f'{eg8.luts} ({rep8.lut_pct:.0f}%)':>12} "
+        f"{f'{eg8.ffs} ({rep8.ff_pct:.0f}%)':>12}\n"
+        f"\nratios: {lut_ratio:.1f}x LUTs (paper ~25x), "
+        f"{ff_ratio:.1f}x FFs (paper ~28x)"
+    )
+    emit("Table 3 — Escape Generate implementation (XC2V40-6)", body)
+    assert eg8.luts == 22 and eg8.ffs == 6
+    assert abs(eg32.luts - 492) / 492 < 0.05
+    assert 20 <= lut_ratio <= 28 and 24 <= ff_ratio <= 32

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every module regenerates one table or figure from the paper (see
+DESIGN.md's experiment index).  Conventions:
+
+* the paper-style table/trace is printed with :func:`emit` so it is
+  visible with ``pytest benchmarks/ --benchmark-only -s`` and collected
+  into EXPERIMENTS.md;
+* the pytest-benchmark fixture times the *computation that produces
+  the artefact* so regressions in the model itself are caught.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduction artefact with a recognisable banner."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n", file=sys.stderr)

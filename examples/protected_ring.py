@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""1+1 protection switching: IP traffic surviving a fibre cut.
+
+Real OC-48 links (the paper's deployment target) run protected: the
+head end bridges every frame onto a working and a protection fibre;
+the tail end selects whichever is healthy via the K1/K2 overhead
+bytes.  This example streams PPP/IP traffic over a protected span,
+cuts the working fibre mid-stream, and shows the selector switching to
+protection within one frame — with zero frames lost, because both
+fibres carry the same bridged signal.
+
+Run:  python examples/protected_ring.py
+"""
+
+from repro.hdlc import Delineator, HdlcFramer
+from repro.sonet import SonetFramer, SonetRxFramer
+from repro.sonet.aps import ApsRequest, ProtectionSelector
+from repro.workloads import ppp_frame_contents
+
+
+def main() -> None:
+    n = 12
+    tx = SonetFramer(n)
+    selector = ProtectionSelector(
+        SonetRxFramer(n, oof_threshold=1),
+        SonetRxFramer(n, oof_threshold=1),
+    )
+    delineator = Delineator(framer=HdlcFramer())
+
+    frames = ppp_frame_contents(400, seed=3)
+    hdlc = HdlcFramer()
+    stream = bytearray()
+    for content in frames:
+        stream += hdlc.encode(content)
+
+    payload_per_frame = tx.payload_bytes_per_frame
+    recovered = []
+    cut_at = 8
+    print(f"streaming {len(frames)} PPP frames over protected {tx.rate.oc_name}; "
+          f"working fibre cut at frame {cut_at}\n")
+    frame_no = 0
+    while stream or frame_no < cut_at + 6:
+        frame_no += 1
+        chunk = bytes(stream[:payload_per_frame])
+        del stream[:payload_per_frame]
+        if len(chunk) < payload_per_frame:
+            chunk += b"\x7e" * (payload_per_frame - len(chunk))
+        wire = tx.build(chunk)
+        working = wire if frame_no < cut_at else bytes(len(wire))  # the cut
+        payload = selector.receive_frame(working, wire)
+        before = len(delineator.frames)
+        delineator.push_bytes(payload)
+        recovered += [f.content for f in delineator.frames[before:]]
+        marker = ""
+        if selector.switch_events and selector.switch_events[-1][0] == frame_no:
+            _, target, kind = selector.switch_events[-1]
+            marker = f"  <-- APS switch to {target} ({kind.name})"
+        if frame_no <= cut_at + 3 or marker:
+            print(f"  frame {frame_no:2d}: active={selector.active:<10} "
+                  f"K1=0x{selector.k1_byte():02X} "
+                  f"recovered={len(recovered):3d}{marker}")
+        if not stream and frame_no >= cut_at + 6 and len(recovered) == len(frames):
+            break
+
+    print(f"\nrecovered {len(recovered)}/{len(frames)} PPP frames, "
+          f"FCS errors: {delineator.stats.fcs_errors}")
+    assert recovered == frames, "the bridged protection path loses nothing"
+    assert selector.active == "protection"
+    assert any(k is ApsRequest.SIGNAL_FAIL for _, _, k in selector.switch_events)
+    print("protected_ring OK: fibre cut absorbed with zero frame loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: push real IP packets through the cycle-accurate P5.
+
+Builds two 32-bit P5 systems (the paper's 2.5 Gbps configuration),
+cross-connects them, transmits ten IPv4-in-PPP frames in each
+direction and reads the results back through the Protocol OAM register
+map — the whole paper in ~40 lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import P5Config, run_duplex_exchange
+from repro.core.oam import ADDR_RX_FRAMES_OK, ADDR_TX_FRAMES
+from repro.workloads import ppp_frame_contents
+
+
+def main() -> None:
+    config = P5Config.thirty_two_bit()
+    print(f"configuration: {config.describe()}")
+
+    frames_ab = ppp_frame_contents(10, seed=1)   # IMIX IPv4 traffic
+    frames_ba = ppp_frame_contents(10, seed=2)
+    result = run_duplex_exchange(frames_ab, frames_ba, config, timeout=2_000_000)
+
+    print(f"\nexchange completed in {result.cycles} clock cycles "
+          f"({result.cycles / config.clock_hz * 1e6:.1f} us at "
+          f"{config.clock_hz / 1e6:.3f} MHz)")
+    print(f"A->B delivered {len(result.b_received)} frames, "
+          f"all FCS-good: {all(ok for _, ok in result.b_received)}")
+    print(f"B->A delivered {len(result.a_received)} frames, "
+          f"all FCS-good: {all(ok for _, ok in result.a_received)}")
+
+    payload_bits = sum(len(f) for f in frames_ab) * 8
+    gbps = payload_bits * config.clock_hz / result.cycles / 1e9
+    print(f"goodput: {gbps:.2f} Gbps of the "
+          f"{config.line_rate_bps / 1e9:.2f} Gbps line")
+
+    # The host's view: OAM registers.
+    oam_a, oam_b = result.a.oam, result.b.oam
+    print("\nProtocol OAM (station A):")
+    print(f"  TX_FRAMES     = {oam_a.read(ADDR_TX_FRAMES)}")
+    print(f"  RX_FRAMES_OK  = {oam_a.read(ADDR_RX_FRAMES_OK)}")
+    print(f"  irq asserted  = {oam_a.irq_asserted}")
+    print("\nfull register dump (station B):")
+    print(oam_b.regs.dump())
+
+    assert [c for c, _ in result.b_received] == frames_ab
+    assert [c for c, _ in result.a_received] == frames_ba
+    print("\nquickstart OK: every frame delivered byte-exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""PPP numbered mode (RFC 1663): reliable transmission on a noisy link.
+
+Paper section 2, on the PPP control field: "PPP may be configured via
+the LCP to use sequence numbers and acknowledgements for reliable data
+transmission.  This is of particular use in noisy environments such as
+wireless networks."
+
+This example runs the same datagram burst over a lossy channel twice:
+
+* in the default **unnumbered mode** (UI frames) — losses are final;
+* in **numbered mode** — the LAPB-style window/REJ/timeout machinery
+  recovers every frame, at the cost of retransmissions.
+
+Run:  python examples/reliable_wireless_link.py
+"""
+
+import numpy as np
+
+from repro.ppp.reliable import NumberedModeLink
+
+N_MESSAGES = 200
+LOSS_RATE = 0.15
+
+
+def make_messages():
+    return [f"telemetry sample {i:04d}".encode() for i in range(N_MESSAGES)]
+
+
+def unnumbered_run(seed: int) -> int:
+    """Default mode: each frame is sent once; losses are unrecoverable."""
+    rng = np.random.default_rng(seed)
+    delivered = 0
+    for _ in make_messages():
+        if rng.random() >= LOSS_RATE:
+            delivered += 1
+    return delivered
+
+
+def numbered_run(seed: int):
+    """Numbered mode: go-back-N over the same loss process."""
+    rng = np.random.default_rng(seed)
+    sender, receiver = NumberedModeLink("air-tx"), NumberedModeLink("air-rx")
+    messages = make_messages()
+    for message in messages:
+        sender.send(message)
+    ticks = 0
+    while not (sender.all_acknowledged and len(receiver.delivered) == len(messages)):
+        ticks += 1
+        if ticks > 5000:
+            raise RuntimeError("link did not converge")
+        for control, payload in sender.drain_outbox():
+            if rng.random() >= LOSS_RATE:
+                receiver.receive(control, payload)
+        for control, payload in receiver.drain_outbox():
+            if rng.random() >= LOSS_RATE:
+                sender.receive(control, payload)
+        sender.tick()
+        receiver.tick()
+    return receiver, sender, ticks
+
+
+def main() -> None:
+    print(f"channel: {LOSS_RATE:.0%} frame loss, {N_MESSAGES} datagrams\n")
+
+    plain = unnumbered_run(seed=42)
+    print("unnumbered (default UI) mode:")
+    print(f"  delivered {plain}/{N_MESSAGES} "
+          f"({plain / N_MESSAGES:.0%}) — losses are final\n")
+
+    receiver, sender, ticks = numbered_run(seed=42)
+    stats = sender.stats
+    print("numbered (RFC 1663) mode:")
+    print(f"  delivered {len(receiver.delivered)}/{N_MESSAGES} (100%) "
+          f"in {ticks} timer periods")
+    print(f"  I-frames sent {stats.i_sent}, retransmitted {stats.i_resent} "
+          f"({stats.i_resent / stats.i_sent:.1%} overhead)")
+    print(f"  REJs received {stats.rej_received}, timeouts {stats.timeouts}")
+    print(f"  receiver: {receiver.stats.out_of_sequence} out-of-sequence "
+          f"events, {receiver.stats.rej_sent} REJs sent")
+
+    assert receiver.delivered == make_messages(), "order must be preserved"
+    assert plain < N_MESSAGES, "the lossy channel must actually lose frames"
+    print("\nreliable_wireless_link OK: numbered mode delivered everything, "
+          "in order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of "A Programmable and Highly Pipelined PPP
+Architecture for Gigabit IP over SDH/SONET" (Toal & Sezer, IPPS 2003).
+
+The package implements the paper's P5 packet processor as a
+cycle-accurate architectural model, together with every substrate the
+design depends on: the full PPP protocol suite (RFC 1661/1662 and
+friends), three cross-checked CRC engines including the word-parallel
+Pei–Zukowski matrices, an SDH/SONET transmission system with the
+RFC 1619/2615 payload mappings, MAPOS framing, PHY error models, and
+an FPGA synthesis cost model that regenerates the paper's Tables 1–3.
+
+Quick start::
+
+    from repro import P5Config, run_duplex_exchange
+    from repro.workloads import ppp_frame_contents
+
+    frames = ppp_frame_contents(10, seed=1)
+    result = run_duplex_exchange(frames, [], P5Config.thirty_two_bit())
+    assert result.all_good()
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+table/figure reproductions.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.core import (
+    P5Config,
+    P5Receiver,
+    P5System,
+    P5Transmitter,
+    PipelinedEscapeDetect,
+    PipelinedEscapeGenerate,
+    ProtocolOam,
+    run_duplex_exchange,
+)
+from repro.crc import CRC16_X25, CRC32, BitSerialCrc, ParallelCrc, TableCrc
+from repro.hdlc import Delineator, HdlcFramer, stuff, unstuff
+from repro.ppp import (
+    Ipcp,
+    IpcpConfig,
+    Lcp,
+    LcpConfig,
+    PppEndpoint,
+    PPPFrame,
+    connect_endpoints,
+)
+from repro.sonet import PppOverSonet, SonetFramer, SonetRxFramer
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # the P5 core
+    "P5Config",
+    "P5System",
+    "P5Transmitter",
+    "P5Receiver",
+    "PipelinedEscapeGenerate",
+    "PipelinedEscapeDetect",
+    "ProtocolOam",
+    "run_duplex_exchange",
+    # CRC
+    "CRC16_X25",
+    "CRC32",
+    "BitSerialCrc",
+    "TableCrc",
+    "ParallelCrc",
+    # HDLC
+    "HdlcFramer",
+    "Delineator",
+    "stuff",
+    "unstuff",
+    # PPP
+    "PPPFrame",
+    "PppEndpoint",
+    "connect_endpoints",
+    "Lcp",
+    "LcpConfig",
+    "Ipcp",
+    "IpcpConfig",
+    # SONET
+    "SonetFramer",
+    "SonetRxFramer",
+    "PppOverSonet",
+]

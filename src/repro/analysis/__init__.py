@@ -1,0 +1,32 @@
+"""Measurement and analysis over the cycle-accurate model.
+
+* :mod:`repro.analysis.throughput` — bytes/cycle and Gbps from duplex
+  runs (claim C1: 625 Mbps / 2.5 Gbps at 78.125 MHz);
+* :mod:`repro.analysis.latency` — pipeline fill latency (claim C2:
+  4 cycles ≈ 50 ns through the 32-bit escape unit);
+* :mod:`repro.analysis.expansion` — stuffing expansion statistics,
+  analytic and empirical (sizes the resynchronisation buffer);
+* :mod:`repro.analysis.efficiency` — end-to-end line efficiency of
+  IP over PPP over SONET.
+"""
+
+from repro.analysis.throughput import ThroughputReport, measure_escape_throughput
+from repro.analysis.latency import LatencyReport, measure_escape_latency
+from repro.analysis.expansion import (
+    expected_expansion,
+    measure_expansion,
+    worst_case_expansion,
+)
+from repro.analysis.efficiency import EfficiencyBreakdown, ip_over_sonet_efficiency
+
+__all__ = [
+    "ThroughputReport",
+    "measure_escape_throughput",
+    "LatencyReport",
+    "measure_escape_latency",
+    "expected_expansion",
+    "measure_expansion",
+    "worst_case_expansion",
+    "EfficiencyBreakdown",
+    "ip_over_sonet_efficiency",
+]

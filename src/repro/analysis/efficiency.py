@@ -1,0 +1,73 @@
+"""End-to-end line efficiency: IP over PPP/HDLC over SONET.
+
+Combines every overhead between an IP payload and the optical line:
+SONET section/line/path overhead, HDLC flags + FCS + PPP header, and
+the stochastic stuffing expansion — producing the derived "how much of
+OC-48 is actually IP" figure the examples report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.expansion import UNIFORM_RANDOM_DENSITY, expected_expansion
+from repro.sonet.rates import StsRate, payload_capacity_bytes
+
+__all__ = ["EfficiencyBreakdown", "ip_over_sonet_efficiency"]
+
+
+@dataclass(frozen=True)
+class EfficiencyBreakdown:
+    """Where the line rate goes, stage by stage."""
+
+    sts_level: int
+    datagram_bytes: int
+    line_rate_bps: float
+    sonet_payload_bps: float
+    ppp_goodput_bps: float
+
+    @property
+    def sonet_efficiency(self) -> float:
+        return self.sonet_payload_bps / self.line_rate_bps
+
+    @property
+    def ppp_efficiency(self) -> float:
+        """PPP goodput as a fraction of the SONET payload."""
+        return self.ppp_goodput_bps / self.sonet_payload_bps
+
+    @property
+    def total_efficiency(self) -> float:
+        return self.ppp_goodput_bps / self.line_rate_bps
+
+
+def ip_over_sonet_efficiency(
+    datagram_bytes: int,
+    sts_level: int = 48,
+    *,
+    escape_density: float = UNIFORM_RANDOM_DENSITY,
+    fcs_octets: int = 4,
+    header_octets: int = 4,   # address + control + 2-byte protocol
+    flag_octets: int = 1,     # one shared flag per frame
+) -> EfficiencyBreakdown:
+    """Compute the efficiency stack for ``datagram_bytes`` IP packets.
+
+    Per frame, the wire carries::
+
+        flags + stuffed(header + datagram + FCS)
+
+    and stuffing applies to header+payload+FCS at the given density.
+    """
+    if datagram_bytes < 20:
+        raise ValueError("IP datagrams are at least 20 bytes")
+    rate = StsRate(sts_level)
+    sonet_payload_bps = payload_capacity_bytes(sts_level) * 8 * 8000
+    content = header_octets + datagram_bytes + fcs_octets
+    wire_per_frame = flag_octets + content * expected_expansion(escape_density)
+    goodput_fraction = datagram_bytes / wire_per_frame
+    return EfficiencyBreakdown(
+        sts_level=sts_level,
+        datagram_bytes=datagram_bytes,
+        line_rate_bps=rate.line_rate_bps,
+        sonet_payload_bps=sonet_payload_bps,
+        ppp_goodput_bps=sonet_payload_bps * goodput_fraction,
+    )

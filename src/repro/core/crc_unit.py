@@ -1,0 +1,247 @@
+"""The CRC unit — word-parallel FCS generation and checking.
+
+"A highly efficient and optimised parallel CRC core has been
+developed.  The CRC unit co-ordinates and synchronises data being fed
+into the CRC core.  The CRC core computes a 32-bit Frame Check
+Sequence FCS via an 8 x 32-bit parallel matrix (for the 8-bit P5) or
+via a 32 x 32-bit parallel matrix (for the 32-bit P5)."
+
+Two pipeline modules share the :class:`~repro.crc.parallel.ParallelCrc`
+core (which in turn realises the Pei–Zukowski matrices):
+
+* :class:`CrcGenerate` — transmit side: passes frame content through,
+  accumulating the FCS one word per cycle, and appends the FCS
+  trailer (least-significant octet first, per RFC 1662) at
+  end-of-frame.
+* :class:`CrcCheck` — receive side: verifies the FCS over the whole
+  frame via the magic-residue method and strips the trailer,
+  re-marking end-of-frame on the last content word.
+
+``CrcUnit`` is a factory helper selecting the direction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crc import CrcSpec
+from repro.crc.parallel import ParallelCrc
+from repro.rtl.module import Channel, Module
+from repro.rtl.pipeline import WordBeat
+
+__all__ = ["CrcGenerate", "CrcCheck", "CrcUnit"]
+
+
+class CrcGenerate(Module):
+    """Append the FCS to each frame, word-at-a-time.
+
+    Latency: one cycle (a single output register) for pass-through
+    words; the trailer words follow the content seamlessly because the
+    internal repacker keeps the byte stream dense across the
+    content/FCS boundary.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: Channel,
+        out: Channel,
+        *,
+        width_bytes: int,
+        spec: CrcSpec,
+    ) -> None:
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.width_bytes = width_bytes
+        self.spec = spec
+        self.core = ParallelCrc(spec, width_bytes * 8)
+        self._carry = bytearray()
+        self._sof_pending = True
+        self.frames_processed = 0
+
+    @property
+    def fcs_octets(self) -> int:
+        return self.spec.width // 8
+
+    def clock(self) -> None:
+        if not self.inp.can_pop:
+            return
+        # Worst case one input word yields 2 output words (tail + FCS);
+        # require room for both before consuming, else stall.
+        beat: WordBeat = self.inp.peek()
+        max_words = (len(self._carry) + beat.n_valid + self.fcs_octets) // self.width_bytes + 1
+        if not self._room_for(max_words if beat.eof else 1):
+            self.note_stall()
+            return
+        self.inp.pop()
+        payload = beat.payload()
+        self._absorb(payload)
+        self._carry.extend(payload)
+        if beat.eof:
+            fcs = self.core.value()
+            self._carry.extend(fcs.to_bytes(self.fcs_octets, "little"))
+            self._emit_all(flush=True)
+            self.core.reset()
+            self.frames_processed += 1
+        else:
+            self._emit_all(flush=False)
+
+    def _absorb(self, payload: bytes) -> None:
+        if len(payload) == self.width_bytes:
+            self.core.step(payload)
+        elif payload:
+            self.core.step_partial(payload)
+
+    def _room_for(self, words: int) -> bool:
+        return self.out.capacity - self.out.occupancy >= words
+
+    def _emit_all(self, *, flush: bool) -> None:
+        first = self._sof_pending
+        while len(self._carry) >= self.width_bytes:
+            word = bytes(self._carry[: self.width_bytes])
+            del self._carry[: self.width_bytes]
+            eof = flush and not self._carry
+            self.out.push(
+                WordBeat.from_bytes(word, self.width_bytes, sof=first, eof=eof)
+            )
+            first = False
+        if flush and self._carry:
+            self.out.push(
+                WordBeat.from_bytes(
+                    bytes(self._carry), self.width_bytes, sof=first, eof=True
+                )
+            )
+            self._carry.clear()
+            first = False
+        self._sof_pending = True if flush else first
+
+
+class CrcCheck(Module):
+    """Verify and strip the FCS on receive.
+
+    The unit holds back the most recent ``fcs_octets`` bytes of the
+    frame (they might be the trailer); everything older streams out.
+    At end-of-frame the residue test decides good/bad, recorded in
+    :attr:`frame_good` / the error counters for the OAM.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: Channel,
+        out: Channel,
+        *,
+        width_bytes: int,
+        spec: CrcSpec,
+    ) -> None:
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.width_bytes = width_bytes
+        self.spec = spec
+        self.core = ParallelCrc(spec, width_bytes * 8)
+        self._held = bytearray()          # content not yet released
+        self._sof_pending = True
+        self.frames_ok = 0
+        self.fcs_errors = 0
+        self.runt_frames = 0
+        self.frame_results: List[bool] = []
+        #: Verdicts only for frames actually released downstream
+        #: (runts are swallowed), in release order — the sink pairs
+        #: these with the eof-marked frames it assembles.
+        self.released_results: List[bool] = []
+
+    @property
+    def fcs_octets(self) -> int:
+        return self.spec.width // 8
+
+    def clock(self) -> None:
+        if not self.inp.can_pop:
+            return
+        beat: WordBeat = self.inp.peek()
+        content = len(self._held) + beat.n_valid - self.fcs_octets
+        if beat.eof:
+            # Whole remaining content flushes this cycle.
+            max_words = max(0, (content + self.width_bytes - 1) // self.width_bytes)
+        else:
+            max_words = max(0, content) // self.width_bytes
+        if self.out.capacity - self.out.occupancy < max_words:
+            self.note_stall()
+            return
+        self.inp.pop()
+        payload = beat.payload()
+        self._absorb(payload)
+        self._held.extend(payload)
+        if beat.eof:
+            self._finish_frame()
+        else:
+            self._release(flush=False)
+
+    def _absorb(self, payload: bytes) -> None:
+        if len(payload) == self.width_bytes:
+            self.core.step(payload)
+        elif payload:
+            self.core.step_partial(payload)
+
+    def _release(self, *, flush: bool) -> None:
+        # Keep fcs_octets bytes back unless flushing a finished frame.
+        limit = len(self._held) if flush else len(self._held) - self.fcs_octets
+        emitted = 0
+        while limit - emitted >= self.width_bytes:
+            word = bytes(self._held[emitted : emitted + self.width_bytes])
+            emitted += self.width_bytes
+            eof = flush and emitted >= limit
+            self.out.push(
+                WordBeat.from_bytes(
+                    word, self.width_bytes, sof=self._sof_pending, eof=eof
+                )
+            )
+            self._sof_pending = False
+        if flush and limit - emitted > 0:
+            self.out.push(
+                WordBeat.from_bytes(
+                    bytes(self._held[emitted:limit]),
+                    self.width_bytes,
+                    sof=self._sof_pending,
+                    eof=True,
+                )
+            )
+            self._sof_pending = False
+            emitted = limit
+        del self._held[:emitted]
+
+    def _finish_frame(self) -> None:
+        good = False
+        if len(self._held) <= self.fcs_octets:
+            self.runt_frames += 1
+            self._held.clear()
+        else:
+            good = self.core.residue_value() == self.spec.residue
+            if good:
+                self.frames_ok += 1
+            else:
+                self.fcs_errors += 1
+            del self._held[-self.fcs_octets :]   # strip the trailer
+            self._release(flush=True)
+            self.released_results.append(good)
+        self.frame_results.append(good)
+        self.core.reset()
+        self._sof_pending = True
+
+
+def CrcUnit(
+    name: str,
+    inp: Channel,
+    out: Channel,
+    *,
+    width_bytes: int,
+    spec: CrcSpec,
+    mode: str,
+) -> Module:
+    """Factory: ``mode='generate'`` (TX) or ``mode='check'`` (RX)."""
+    if mode == "generate":
+        return CrcGenerate(name, inp, out, width_bytes=width_bytes, spec=spec)
+    if mode == "check":
+        return CrcCheck(name, inp, out, width_bytes=width_bytes, spec=spec)
+    raise ValueError(f"unknown CRC unit mode {mode!r}")

@@ -1,0 +1,123 @@
+"""Register-map infrastructure for the Protocol OAM block.
+
+"The exchange of status information between a µP (host computer) is
+carried out via interrupts and a status/control register map."  This
+module provides the generic map; :mod:`repro.core.oam` defines the
+P5's actual registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["Register", "RegisterMap"]
+
+
+@dataclass
+class Register:
+    """One 32-bit register.
+
+    Attributes
+    ----------
+    name / address:
+        Symbolic name and word address on the microprocessor bus.
+    access:
+        ``"rw"`` host read/write, ``"ro"`` host read-only (status),
+        ``"w1c"`` write-1-to-clear (interrupt pending style).
+    reset:
+        Value after reset.
+    on_read:
+        Optional provider called on host reads (live status values).
+    on_write:
+        Optional side-effect hook called with the new value.
+    """
+
+    name: str
+    address: int
+    access: str = "rw"
+    reset: int = 0
+    on_read: Optional[Callable[[], int]] = None
+    on_write: Optional[Callable[[int], None]] = None
+    value: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.access not in ("rw", "ro", "w1c"):
+            raise ConfigError(f"unknown access mode {self.access!r}")
+        self.value = self.reset & 0xFFFFFFFF
+
+
+class RegisterMap:
+    """An addressable bank of :class:`Register` objects."""
+
+    def __init__(self) -> None:
+        self._by_addr: Dict[int, Register] = {}
+        self._by_name: Dict[str, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        """Install a register; address and name must be unique."""
+        if register.address in self._by_addr:
+            raise ConfigError(f"address 0x{register.address:02X} already mapped")
+        if register.name in self._by_name:
+            raise ConfigError(f"register name {register.name!r} already mapped")
+        self._by_addr[register.address] = register
+        self._by_name[register.name] = register
+        return register
+
+    def register(self, name: str) -> Register:
+        """Look up by symbolic name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no register named {name!r}") from None
+
+    # ------------------------------------------------------------- host bus
+    def read(self, address: int) -> int:
+        """Host read cycle."""
+        reg = self._lookup(address)
+        if reg.on_read is not None:
+            reg.value = reg.on_read() & 0xFFFFFFFF
+        return reg.value
+
+    def write(self, address: int, value: int) -> None:
+        """Host write cycle; honours the access mode."""
+        reg = self._lookup(address)
+        value &= 0xFFFFFFFF
+        if reg.access == "ro":
+            return  # writes to status registers are ignored, as in HW
+        if reg.access == "w1c":
+            reg.value &= ~value & 0xFFFFFFFF
+        else:
+            reg.value = value
+        if reg.on_write is not None:
+            reg.on_write(reg.value)
+
+    def read_name(self, name: str) -> int:
+        """Convenience: read by symbolic name."""
+        return self.read(self.register(name).address)
+
+    def write_name(self, name: str, value: int) -> None:
+        """Convenience: write by symbolic name."""
+        self.write(self.register(name).address, value)
+
+    def _lookup(self, address: int) -> Register:
+        try:
+            return self._by_addr[address]
+        except KeyError:
+            raise KeyError(f"no register at address 0x{address:02X}") from None
+
+    def reset(self) -> None:
+        """Return every register to its reset value."""
+        for reg in self._by_addr.values():
+            reg.value = reg.reset & 0xFFFFFFFF
+
+    def dump(self) -> str:
+        """Formatted register listing (debug/OAM console)."""
+        lines = []
+        for addr in sorted(self._by_addr):
+            reg = self._by_addr[addr]
+            value = self.read(addr)
+            lines.append(f"0x{addr:02X} {reg.name:<20} {reg.access:<3} 0x{value:08X}")
+        return "\n".join(lines)

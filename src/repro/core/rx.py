@@ -1,0 +1,200 @@
+"""The P5 Receiver (paper Figure 4).
+
+Data path: **PHY → flag delineation → Escape Detect → CRC check →
+Control (shared memory)**.  The delineator hunts for flag octets in
+the unaligned wire stream, the Escape Detect unit deletes escapes and
+fills the resulting bubbles, the CRC unit verifies and strips the
+FCS, and the frame sink writes whole frames into receive memory with
+their verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import P5Config
+from repro.core.crc_unit import CrcCheck
+from repro.core.escape_pipeline import PipelinedEscapeDetect
+from repro.hdlc.constants import FLAG_OCTET
+from repro.rtl.module import Channel, Module
+from repro.rtl.pipeline import WordBeat
+
+__all__ = ["WordDelineator", "RxFrameSink", "P5Receiver"]
+
+
+class WordDelineator(Module):
+    """Flag hunting and frame delineation on word-wide data.
+
+    The wire presents ``W`` arbitrary octets per cycle; flags may sit
+    on any lane, frames may start mid-word and a single word can close
+    one frame and open the next.  The module re-emits the *frame body*
+    octets (flags stripped) as dense word beats with sof/eof marks.
+
+    A one-word **holdback** keeps the most recent full word in the
+    carry until more data (or the closing flag) arrives — otherwise a
+    frame whose body length is an exact multiple of W would have
+    already shipped its last word before the flag reveals it was the
+    last, and the eof mark could not be attached.  Hardware has the
+    same constraint and the same solution (a registered word of
+    lookahead).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: Channel,
+        out: Channel,
+        *,
+        width_bytes: int,
+        flag_octet: int = FLAG_OCTET,
+    ) -> None:
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.width_bytes = width_bytes
+        self.flag_octet = flag_octet
+        self._carry = bytearray()      # body bytes of the open frame
+        self._synced = False
+        self._sof_pending = False
+        self.octets_discarded_hunting = 0
+        self.frames_delineated = 0
+        self.empty_bodies = 0          # idle flags between frames
+
+    def clock(self) -> None:
+        if not self.inp.can_pop:
+            return
+        # Worst case: a word full of tiny frames can emit up to W/3+2
+        # beats; require generous room or stall the PHY word.
+        if self.out.capacity - self.out.occupancy < self.width_bytes + 2:
+            self.note_stall()
+            return
+        beat: WordBeat = self.inp.pop()
+        for octet in beat.payload():
+            self._consume_octet(octet)
+        self._emit_words()
+
+    def _consume_octet(self, octet: int) -> None:
+        if not self._synced:
+            if octet == self.flag_octet:
+                self._synced = True
+                self._sof_pending = True
+            else:
+                self.octets_discarded_hunting += 1
+            return
+        if octet == self.flag_octet:
+            if self._carry:
+                self._close_frame()
+            else:
+                self.empty_bodies += 1
+            self._sof_pending = True
+            return
+        self._carry.append(octet)
+
+    def _emit_words(self) -> None:
+        # Strictly-greater-than: hold one word back (see class docs).
+        while len(self._carry) > self.width_bytes:
+            word = bytes(self._carry[: self.width_bytes])
+            del self._carry[: self.width_bytes]
+            self.out.push(
+                WordBeat.from_bytes(word, self.width_bytes, sof=self._sof_pending)
+            )
+            self._sof_pending = False
+
+    def _close_frame(self) -> None:
+        # Flush everything held back; may be up to 2W-? bytes if the
+        # flag arrived right after a large fill — emit in word chunks.
+        while self._carry:
+            chunk = bytes(self._carry[: self.width_bytes])
+            del self._carry[: self.width_bytes]
+            self.out.push(
+                WordBeat.from_bytes(
+                    chunk,
+                    self.width_bytes,
+                    sof=self._sof_pending,
+                    eof=not self._carry,
+                )
+            )
+            self._sof_pending = False
+        self.frames_delineated += 1
+
+
+class RxFrameSink(Module):
+    """Control unit + shared-memory write port.
+
+    Assembles beats into whole frames and pairs them with the CRC
+    checker's verdicts.  ``frames`` holds ``(content, good)`` tuples —
+    the paper's "receiver unpacketises and extracts the encapsulated
+    datagram".
+    """
+
+    def __init__(self, name: str, inp: Channel, crc: CrcCheck) -> None:
+        super().__init__(name)
+        self.inp = inp
+        self.crc = crc
+        self._current = bytearray()
+        self.frames: List[Tuple[bytes, bool]] = []
+        self._verdict_cursor = 0
+
+    def clock(self) -> None:
+        if not self.inp.can_pop:
+            return
+        beat: WordBeat = self.inp.pop()
+        self._current += beat.payload()
+        if beat.eof:
+            verdicts = self.crc.released_results
+            good = (
+                verdicts[self._verdict_cursor]
+                if self._verdict_cursor < len(verdicts)
+                else False
+            )
+            self._verdict_cursor += 1
+            self.frames.append((bytes(self._current), good))
+            self._current.clear()
+
+    def good_frames(self) -> List[bytes]:
+        """Contents of frames that passed the FCS check."""
+        return [content for content, good in self.frames if good]
+
+
+class P5Receiver:
+    """The complete receiver pipeline as a module/channel bundle."""
+
+    def __init__(self, config: P5Config, *, name: str = "rx") -> None:
+        self.config = config
+        w = config.width_bytes
+        self.phy_in = Channel(f"{name}.phy", capacity=4)
+        # The delineator can burst many small beats from one PHY word
+        # (see WordDelineator room check): size its output accordingly.
+        self.ch_body = Channel(f"{name}.body", capacity=2 * w + 4)
+        self.ch_clear = Channel(f"{name}.clear", capacity=6)
+        self.ch_checked = Channel(f"{name}.checked", capacity=6)
+
+        self.delineator = WordDelineator(
+            f"{name}.delin", self.phy_in, self.ch_body,
+            width_bytes=w, flag_octet=config.flag_octet,
+        )
+        self.escape = PipelinedEscapeDetect(
+            f"{name}.escdet", self.ch_body, self.ch_clear,
+            width_bytes=w,
+            esc_octet=config.esc_octet,
+            flag_octet=config.flag_octet,
+            pipeline_stages=4 if config.width_bits > 8 else 2,
+            resync_depth_words=config.resync_depth_words,
+        )
+        self.crc = CrcCheck(
+            f"{name}.crcchk", self.ch_clear, self.ch_checked,
+            width_bytes=w, spec=config.fcs,
+        )
+        self.sink = RxFrameSink(f"{name}.sink", self.ch_checked, self.crc)
+        self.modules: List[Module] = [
+            self.delineator, self.escape, self.crc, self.sink
+        ]
+        self.channels = [self.phy_in, self.ch_body, self.ch_clear, self.ch_checked]
+
+    @property
+    def frames(self) -> List[Tuple[bytes, bool]]:
+        """All received frames with verdicts."""
+        return self.sink.frames
+
+    def good_frames(self) -> List[bytes]:
+        return self.sink.good_frames()

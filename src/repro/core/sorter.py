@@ -1,0 +1,94 @@
+"""The byte sorter — the paper's central datapath mechanism.
+
+Stuffing expands and destuffing contracts the byte stream *mid-word*,
+so a word-parallel datapath constantly has "too many" or "too few"
+bytes in flight (paper Figures 5 and 6).  The byte sorter is the
+realignment network that absorbs ragged byte counts and re-emits
+full-width words: a carry register of 0..W-1 bytes plus a barrel-shift
+write of up to 2W incoming bytes.
+
+In hardware this is "large decision-making combinational logic" — the
+very logic that makes the 32-bit P5 ~11x the 8-bit system.  The
+:meth:`ByteSorter.decision_cases` accounting quantifies that cone and
+feeds the synthesis cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ByteSorter"]
+
+
+class ByteSorter:
+    """Repack a ragged byte stream into full ``width_bytes`` words.
+
+    Bytes are pushed in arbitrary group sizes (0..2W per cycle, as the
+    escape expander produces them); :meth:`push` returns every full
+    word that the new bytes complete.  Residual bytes wait in the
+    carry register for the next cycle; :meth:`flush` drains them at a
+    frame boundary.
+
+    The carry register never holds a full word after :meth:`push`
+    returns (words are emitted eagerly), so the residue is bounded by
+    ``W - 1`` bytes — the structural floor the paper's "extremely low"
+    resynchronisation buffer builds on.  Buffering and backpressure
+    for *stalled* outputs live in the pipelined units
+    (:mod:`repro.core.escape_pipeline`), not here.
+    """
+
+    def __init__(self, width_bytes: int) -> None:
+        if width_bytes < 1:
+            raise ValueError("width_bytes must be >= 1")
+        self.width_bytes = width_bytes
+        self._carry: List[int] = []
+        self.max_carry = 0
+        self.words_emitted = 0
+        self.bytes_in = 0
+
+    # ------------------------------------------------------------ occupancy
+    @property
+    def occupancy(self) -> int:
+        """Bytes currently waiting in the carry register."""
+        return len(self._carry)
+
+    # ----------------------------------------------------------------- data
+    def push(self, data: bytes) -> List[bytes]:
+        """Add bytes; return the full words now available (in order)."""
+        self._carry.extend(data)
+        self.bytes_in += len(data)
+        words: List[bytes] = []
+        while len(self._carry) >= self.width_bytes:
+            words.append(bytes(self._carry[: self.width_bytes]))
+            del self._carry[: self.width_bytes]
+            self.words_emitted += 1
+        if len(self._carry) > self.max_carry:
+            self.max_carry = len(self._carry)
+        return words
+
+    def flush(self) -> Optional[bytes]:
+        """Emit the residual partial word (frame tail), if any."""
+        if not self._carry:
+            return None
+        word = bytes(self._carry)
+        self._carry.clear()
+        self.words_emitted += 1
+        return word
+
+    def reset(self) -> None:
+        """Drop all state (link restart)."""
+        self._carry.clear()
+
+    # --------------------------------------------------------- cost model
+    def decision_cases(self) -> int:
+        """Size of the combinational decision space this sorter implies.
+
+        Hardware must select, for each of the W output lanes, one of
+        (carry occupancy) x (incoming byte count) alignments: with
+        occupancy in 0..W-1 and 0..2W incoming bytes that is
+        ``W * (2W + 1)`` distinct shift configurations, each a wide
+        multiplexer — the quadratic-in-W growth behind the paper's
+        11x area observation.
+        """
+        w = self.width_bytes
+        return w * (2 * w + 1)

@@ -1,0 +1,111 @@
+"""Bit-serial (LFSR) CRC — the golden reference implementation.
+
+This mirrors the serial hardware the paper's parallel matrix replaces:
+an MSB-first shift register with polynomial feedback, one bit per
+clock.  Reflected specs are handled by feeding each octet's bits
+LSB-first (``refin``) and reflecting the final register (``refout``),
+which keeps a single canonical register domain for every spec — the
+same canonical domain the matrix builder probes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crc.polynomial import CrcSpec
+from repro.utils.bits import bit_reflect
+
+__all__ = ["BitSerialCrc"]
+
+
+class BitSerialCrc:
+    """Streaming CRC calculator processing one bit at a time.
+
+    The register is kept in the canonical (non-reflected, MSB-first)
+    domain; :meth:`value` applies ``refout``/``xorout`` to produce the
+    published CRC.  Use :meth:`core_step` to access the raw linear
+    update — the matrix builder relies on it.
+    """
+
+    def __init__(self, spec: CrcSpec) -> None:
+        self.spec = spec
+        self._state = spec.init
+        self._top = 1 << (spec.width - 1)
+
+    # ------------------------------------------------------------------ core
+    def core_step(self, state: int, bit: int) -> int:
+        """One canonical LFSR step: shift left, conditional feedback.
+
+        ``next = ((state << 1) & mask) ^ ((msb(state) ^ bit) ? poly : 0)``
+
+        This is GF(2)-linear in ``(state, bit)``, which is what makes
+        the Pei–Zukowski word-parallel matrices exist.
+        """
+        spec = self.spec
+        feedback = ((state & self._top) != 0) ^ (bit & 1)
+        state = (state << 1) & spec.mask
+        if feedback:
+            state ^= spec.poly
+        return state
+
+    # ------------------------------------------------------------- streaming
+    def reset(self) -> None:
+        """Restart with the spec's initial register value."""
+        self._state = self.spec.init
+
+    @property
+    def state(self) -> int:
+        """Raw register contents in the canonical domain (pre-refout)."""
+        return self._state
+
+    @state.setter
+    def state(self, value: int) -> None:
+        if value & ~self.spec.mask:
+            raise ValueError(f"state 0x{value:X} exceeds width {self.spec.width}")
+        self._state = value
+
+    def update_bit(self, bit: int) -> None:
+        """Absorb a single data bit."""
+        self._state = self.core_step(self._state, bit)
+
+    def update_byte(self, byte: int) -> None:
+        """Absorb one octet, honouring the spec's input reflection."""
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte out of range: {byte!r}")
+        if self.spec.refin:
+            bit_order = range(8)            # LSB first
+        else:
+            bit_order = range(7, -1, -1)    # MSB first
+        state = self._state
+        for i in bit_order:
+            state = self.core_step(state, (byte >> i) & 1)
+        self._state = state
+
+    def update(self, data: Iterable[int]) -> "BitSerialCrc":
+        """Absorb an iterable of octets; returns self for chaining."""
+        for byte in data:
+            self.update_byte(byte)
+        return self
+
+    # --------------------------------------------------------------- results
+    def value(self) -> int:
+        """The published CRC of everything absorbed so far."""
+        spec = self.spec
+        reg = self._state
+        if spec.refout:
+            reg = bit_reflect(reg, spec.width)
+        return reg ^ spec.xorout
+
+    def residue_value(self) -> int:
+        """Register in the refout domain without xorout (residue check)."""
+        spec = self.spec
+        reg = self._state
+        if spec.refout:
+            reg = bit_reflect(reg, spec.width)
+        return reg
+
+    def compute(self, data: bytes) -> int:
+        """One-shot CRC of ``data`` (resets first)."""
+        self.reset()
+        self.update(data)
+        return self.value()

@@ -1,0 +1,210 @@
+"""Pei–Zukowski word-parallel CRC matrices.
+
+The canonical LFSR step (see :class:`repro.crc.bitserial.BitSerialCrc`)
+is GF(2)-linear in ``(state, bit)``::
+
+    next = L(state) ^ bit * P
+
+so absorbing ``W`` data bits is also linear::
+
+    S' = F_W . S  ^  H_W . D
+
+where ``S`` is the ``width``-bit register, ``D`` the ``W`` data bits in
+processing order, ``F_W`` a ``width x width`` matrix and ``H_W`` a
+``width x W`` matrix.  In hardware (ref. [3] of the paper: Pei &
+Zukowski, IEEE Trans. Comm. 1992) each output bit is one XOR tree over
+the set rows of ``[F_W | H_W]`` — the paper's "8 x 32" and "32 x 32"
+parallel matrices are exactly ``H_W`` for CRC-32 at W = 8 and W = 32.
+
+We *derive* the matrices by superposition: probe the bit-serial golden
+model with unit vectors.  This guarantees the parallel engine can never
+disagree with the reference implementation by construction, and it
+works for every registered spec and any W that is a multiple of 8.
+
+The matrices also feed the synthesis cost model: the XOR-tree fan-in
+per output bit (row weight of ``[F_W | H_W]``) determines the LUT count
+and logic depth of the hardware CRC core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.crc.bitserial import BitSerialCrc
+from repro.crc.polynomial import CrcSpec, get_spec
+
+__all__ = ["CrcMatrices", "build_matrices"]
+
+
+@dataclass(frozen=True)
+class CrcMatrices:
+    """The ``F`` (state-feedback) and ``H`` (data-injection) matrices.
+
+    Attributes
+    ----------
+    spec:
+        The CRC parameter set the matrices realise.
+    bits_per_cycle:
+        ``W`` — how many data bits one application absorbs.
+    f_columns:
+        ``width`` integers; ``f_columns[j]`` is the next-state
+        contribution (as a width-bit integer) of state bit ``j``.
+        Bit ``j`` means the value ``1 << j`` in the canonical register.
+    h_columns:
+        ``W`` integers; ``h_columns[k]`` is the next-state contribution
+        of data bit ``k``, where ``k`` indexes the processing order
+        (bit 0 is absorbed first).
+    """
+
+    spec: CrcSpec
+    bits_per_cycle: int
+    f_columns: Tuple[int, ...]
+    h_columns: Tuple[int, ...]
+    _byte_tables: List[np.ndarray] = field(default_factory=list, compare=False, repr=False)
+
+    # ----------------------------------------------------------- matrix view
+    def f_matrix(self) -> np.ndarray:
+        """``F_W`` as a dense uint8 GF(2) matrix, shape (width, width)."""
+        return _columns_to_matrix(self.f_columns, self.spec.width)
+
+    def h_matrix(self) -> np.ndarray:
+        """``H_W`` as a dense uint8 GF(2) matrix, shape (width, W)."""
+        return _columns_to_matrix(self.h_columns, self.spec.width)
+
+    def xor_fanin_per_output(self) -> np.ndarray:
+        """Row weights of ``[F_W | H_W]`` — XOR-tree fan-in per state bit.
+
+        This is the quantity the synthesis model maps to LUTs: a k-input
+        XOR needs ``ceil((k-1)/3)`` 4-input LUTs arranged in a tree.
+        """
+        full = np.concatenate([self.f_matrix(), self.h_matrix()], axis=1)
+        return full.sum(axis=1)
+
+    # ------------------------------------------------------------ application
+    def step(self, state: int, data_bits: int) -> int:
+        """Absorb one W-bit chunk: ``S' = F.S ^ H.D``.
+
+        ``data_bits`` packs the chunk with processing-order bit ``k`` at
+        integer bit position ``k``.
+        """
+        nxt = 0
+        for j, col in enumerate(self.f_columns):
+            if (state >> j) & 1:
+                nxt ^= col
+        for k, col in enumerate(self.h_columns):
+            if (data_bits >> k) & 1:
+                nxt ^= col
+        return nxt
+
+    def step_word(self, state: int, word: bytes) -> int:
+        """Absorb ``W/8`` octets in transmission order.
+
+        Uses precomputed 256-entry per-lane tables (the software
+        analogue of the hardware XOR forest) so a word costs
+        ``width/8 + W/8`` table lookups plus XORs.
+        """
+        tables = self._tables()
+        width_bytes = (self.spec.width + 7) // 8
+        nxt = 0
+        for lane in range(width_bytes):
+            nxt ^= int(tables[lane][(state >> (8 * lane)) & 0xFF])
+        for lane, byte in enumerate(word):
+            nxt ^= int(tables[width_bytes + lane][byte])
+        return nxt
+
+    def _tables(self) -> List[np.ndarray]:
+        if not self._byte_tables:
+            self._byte_tables.extend(self._build_byte_tables())
+        return self._byte_tables
+
+    def _build_byte_tables(self) -> List[np.ndarray]:
+        """Collapse columns into per-byte-lane lookup tables.
+
+        State lanes come first (``ceil(width/8)`` tables indexed by the
+        corresponding state byte), then ``W/8`` data lanes indexed by
+        the data octet — with the octet's bits mapped to processing
+        order per ``refin``.
+        """
+        spec = self.spec
+        tables: List[np.ndarray] = []
+        width_bytes = (spec.width + 7) // 8
+        for lane in range(width_bytes):
+            table = np.zeros(256, dtype=np.uint64)
+            for value in range(256):
+                acc = 0
+                for bit in range(8):
+                    j = 8 * lane + bit
+                    if j < spec.width and (value >> bit) & 1:
+                        acc ^= self.f_columns[j]
+                table[value] = acc
+            tables.append(table)
+        data_bytes = self.bits_per_cycle // 8
+        for lane in range(data_bytes):
+            table = np.zeros(256, dtype=np.uint64)
+            for value in range(256):
+                acc = 0
+                for bit in range(8):
+                    # Processing order within the octet follows refin.
+                    k = 8 * lane + bit
+                    src_bit = bit if spec.refin else 7 - bit
+                    if (value >> src_bit) & 1:
+                        acc ^= self.h_columns[k]
+                table[value] = acc
+            tables.append(table)
+        return tables
+
+
+def _columns_to_matrix(columns: Tuple[int, ...], width: int) -> np.ndarray:
+    mat = np.zeros((width, len(columns)), dtype=np.uint8)
+    for j, col in enumerate(columns):
+        for i in range(width):
+            mat[i, j] = (col >> i) & 1
+    return mat
+
+
+def _serial_absorb(ref: BitSerialCrc, state: int, bits: List[int]) -> int:
+    for bit in bits:
+        state = ref.core_step(state, bit)
+    return state
+
+
+@lru_cache(maxsize=64)
+def _build_matrices_cached(spec_name: str, bits_per_cycle: int) -> CrcMatrices:
+    return _build_matrices(get_spec(spec_name), bits_per_cycle)
+
+
+def _build_matrices(spec: CrcSpec, bits_per_cycle: int) -> CrcMatrices:
+    ref = BitSerialCrc(spec)
+    zeros = [0] * bits_per_cycle
+    # F columns: propagate each state unit vector through W zero bits.
+    f_columns = tuple(
+        _serial_absorb(ref, 1 << j, zeros) for j in range(spec.width)
+    )
+    # H columns: propagate zero state with exactly one data bit set.
+    h_columns = []
+    for k in range(bits_per_cycle):
+        bits = [0] * bits_per_cycle
+        bits[k] = 1
+        h_columns.append(_serial_absorb(ref, 0, bits))
+    return CrcMatrices(spec, bits_per_cycle, f_columns, tuple(h_columns))
+
+
+def build_matrices(spec: CrcSpec, bits_per_cycle: int) -> CrcMatrices:
+    """Construct ``F_W``/``H_W`` for ``spec`` at ``W = bits_per_cycle``.
+
+    ``W`` must be a positive multiple of 8 (word-oriented datapaths);
+    the paper uses W = 8 for the 8-bit P5 and W = 32 for the 32-bit P5.
+    """
+    if bits_per_cycle <= 0 or bits_per_cycle % 8:
+        raise ValueError(f"bits_per_cycle must be a positive multiple of 8, got {bits_per_cycle}")
+    try:
+        cacheable = get_spec(spec.name) == spec
+    except KeyError:
+        cacheable = False
+    if cacheable:
+        return _build_matrices_cached(spec.name, bits_per_cycle)
+    return _build_matrices(spec, bits_per_cycle)

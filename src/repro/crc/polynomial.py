@@ -1,0 +1,188 @@
+"""CRC parameter sets (Rocksoft-style) and the registry used by the P5.
+
+A :class:`CrcSpec` fully determines a CRC: width, polynomial, initial
+register value, input/output reflection, final XOR, and the published
+``check`` value (the CRC of the ASCII string ``"123456789"``), which
+the tests use as an external ground truth.
+
+PPP/HDLC uses two of these (RFC 1662 appendix C):
+
+* **FCS-16** = CRC-16/X-25 — reflected, init ``0xFFFF``, xorout
+  ``0xFFFF``; good-frame residue ``0xF0B8``.
+* **FCS-32** = CRC-32/ISO-HDLC — reflected, init ``0xFFFFFFFF``,
+  xorout ``0xFFFFFFFF``; good-frame residue ``0xDEBB20E3``.
+
+The paper's P5 "incorporates 32-bit CRC checking for accuracy", i.e.
+FCS-32, with FCS-16 retained for programmability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "CrcSpec",
+    "CRC8",
+    "CRC16_CCITT_FALSE",
+    "CRC16_KERMIT",
+    "CRC16_XMODEM",
+    "CRC16_X25",
+    "CRC32",
+    "get_spec",
+    "registered_specs",
+]
+
+
+@dataclass(frozen=True)
+class CrcSpec:
+    """Rocksoft-model CRC parameter set.
+
+    Attributes
+    ----------
+    name:
+        Catalog name, e.g. ``"CRC-32/ISO-HDLC"``.
+    width:
+        Register width in bits.
+    poly:
+        Generator polynomial in normal (MSB-first) representation,
+        without the implicit leading ``x^width`` term.
+    init:
+        Register contents before any data is processed.
+    refin:
+        If true, each input byte is processed least-significant bit
+        first (the serial-line convention for HDLC and Ethernet).
+    refout:
+        If true, the final register is bit-reflected before xorout.
+    xorout:
+        Value XORed into the (possibly reflected) register to produce
+        the published CRC.
+    check:
+        CRC of ``b"123456789"`` — external ground truth for tests.
+    residue:
+        Register value (pre-xorout, in the refout domain) left after
+        processing a correct message plus its transmitted FCS.  Used by
+        receivers that check "CRC over everything == magic residue".
+    """
+
+    name: str
+    width: int
+    poly: int
+    init: int
+    refin: bool
+    refout: bool
+    xorout: int
+    check: int
+    residue: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.width > 64:
+            raise ValueError(f"unsupported CRC width {self.width}")
+        mask = self.mask
+        for field in ("poly", "init", "xorout", "check", "residue"):
+            value = getattr(self, field)
+            if value & ~mask:
+                raise ValueError(f"{field}=0x{value:X} exceeds width {self.width}")
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask of ``width`` bits."""
+        return (1 << self.width) - 1
+
+
+CRC8 = CrcSpec(
+    name="CRC-8/SMBUS",
+    width=8,
+    poly=0x07,
+    init=0x00,
+    refin=False,
+    refout=False,
+    xorout=0x00,
+    check=0xF4,
+    residue=0x00,
+)
+
+CRC16_CCITT_FALSE = CrcSpec(
+    name="CRC-16/CCITT-FALSE",
+    width=16,
+    poly=0x1021,
+    init=0xFFFF,
+    refin=False,
+    refout=False,
+    xorout=0x0000,
+    check=0x29B1,
+    residue=0x0000,
+)
+
+#: G.7041 GFP HEC polynomial set (a.k.a. CRC-16/XMODEM).
+CRC16_XMODEM = CrcSpec(
+    name="CRC-16/XMODEM",
+    width=16,
+    poly=0x1021,
+    init=0x0000,
+    refin=False,
+    refout=False,
+    xorout=0x0000,
+    check=0x31C3,
+    residue=0x0000,
+)
+
+CRC16_KERMIT = CrcSpec(
+    name="CRC-16/KERMIT",
+    width=16,
+    poly=0x1021,
+    init=0x0000,
+    refin=True,
+    refout=True,
+    xorout=0x0000,
+    check=0x2189,
+    residue=0x0000,
+)
+
+#: RFC 1662 FCS-16. Residue 0xF0B8 (register domain after refout).
+CRC16_X25 = CrcSpec(
+    name="CRC-16/X-25",
+    width=16,
+    poly=0x1021,
+    init=0xFFFF,
+    refin=True,
+    refout=True,
+    xorout=0xFFFF,
+    check=0x906E,
+    residue=0xF0B8,
+)
+
+#: RFC 1662 FCS-32 (same parameters as Ethernet / zip CRC-32).
+CRC32 = CrcSpec(
+    name="CRC-32/ISO-HDLC",
+    width=32,
+    poly=0x04C11DB7,
+    init=0xFFFFFFFF,
+    refin=True,
+    refout=True,
+    xorout=0xFFFFFFFF,
+    check=0xCBF43926,
+    residue=0xDEBB20E3,
+)
+
+_REGISTRY: Dict[str, CrcSpec] = {
+    spec.name: spec
+    for spec in (CRC8, CRC16_CCITT_FALSE, CRC16_KERMIT, CRC16_XMODEM, CRC16_X25, CRC32)
+}
+# Convenience aliases used throughout the PPP code.
+_REGISTRY["FCS-16"] = CRC16_X25
+_REGISTRY["FCS-32"] = CRC32
+
+
+def get_spec(name: str) -> CrcSpec:
+    """Look up a spec by catalog name or PPP alias (``FCS-16``/``FCS-32``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown CRC spec {name!r}; known: {known}") from None
+
+
+def registered_specs() -> Tuple[str, ...]:
+    """Names of all registered specs (aliases included)."""
+    return tuple(sorted(_REGISTRY))

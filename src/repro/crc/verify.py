@@ -1,0 +1,55 @@
+"""Cross-verification helpers for the three CRC engines.
+
+Used by the test suite and by :mod:`repro.core.crc_unit` self-checks:
+any disagreement between the bit-serial golden model, the byte table
+and the word-parallel matrices is a library bug, never a data error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.crc.bitserial import BitSerialCrc
+from repro.crc.parallel import ParallelCrc
+from repro.crc.polynomial import CrcSpec
+from repro.crc.table import TableCrc
+
+__all__ = ["EngineComparison", "compare_engines", "check_known_value"]
+
+
+@dataclass(frozen=True)
+class EngineComparison:
+    """Result of running all engines over the same payload."""
+
+    spec_name: str
+    payload_len: int
+    bitserial: int
+    table: int
+    parallel_by_width: Tuple[Tuple[int, int], ...]
+
+    @property
+    def consistent(self) -> bool:
+        values = {self.bitserial, self.table}
+        values.update(v for _, v in self.parallel_by_width)
+        return len(values) == 1
+
+
+def compare_engines(
+    spec: CrcSpec,
+    payload: bytes,
+    widths: Sequence[int] = (8, 16, 32, 64),
+) -> EngineComparison:
+    """Compute ``payload``'s CRC with every engine and report agreement."""
+    bitserial = BitSerialCrc(spec).compute(payload)
+    table = TableCrc(spec).compute(payload)
+    parallel = tuple(
+        (w, ParallelCrc(spec, w).compute(payload)) for w in widths
+    )
+    return EngineComparison(spec.name, len(payload), bitserial, table, parallel)
+
+
+def check_known_value(spec: CrcSpec) -> bool:
+    """True iff every engine reproduces the spec's published check value."""
+    comparison = compare_engines(spec, b"123456789")
+    return comparison.consistent and comparison.bitserial == spec.check

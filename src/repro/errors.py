@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems define narrower
+classes here rather than locally so cross-module code (e.g. the P5 top
+level, which touches HDLC, CRC and SONET) can discriminate failures
+without importing deep internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class FramingError(ReproError):
+    """A received byte stream violates HDLC/PPP framing rules."""
+
+
+class FcsError(FramingError):
+    """A frame's FCS (CRC) check failed.
+
+    Attributes
+    ----------
+    expected, actual:
+        The FCS value carried in the frame and the recomputed value.
+    """
+
+    def __init__(self, expected: int, actual: int, message: str = "") -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            message or f"FCS mismatch: frame carries 0x{expected:X}, computed 0x{actual:X}"
+        )
+
+
+class AbortError(FramingError):
+    """An HDLC abort sequence (0x7D immediately followed by 0x7E) was seen."""
+
+
+class OversizeFrameError(FramingError):
+    """A frame exceeded the negotiated maximum receive unit."""
+
+
+class RuntFrameError(FramingError):
+    """A frame is too short to contain the mandatory header and FCS."""
+
+
+class ProtocolError(ReproError):
+    """A PPP control-protocol (LCP/NCP) rule was violated."""
+
+
+class NegotiationError(ProtocolError):
+    """Option negotiation failed to converge."""
+
+
+class LoopbackError(ProtocolError):
+    """A looped-back link was detected via magic-number comparison."""
+
+
+class SonetError(ReproError):
+    """SDH/SONET framing or overhead processing failed."""
+
+
+class PointerError(SonetError):
+    """An H1/H2 payload pointer is invalid."""
+
+
+class LossOfFrame(SonetError):
+    """The receive framer declared loss-of-frame (LOF)."""
+
+
+class SimulationError(ReproError):
+    """The RTL simulation kernel detected an inconsistency."""
+
+
+class BackpressureOverflow(SimulationError):
+    """Data was pushed into a stalled interface that could not accept it.
+
+    In hardware this is the condition the paper's resynchronisation
+    buffer and backpressure scheme exist to prevent; the simulator
+    raises instead of silently dropping bytes.
+    """
+
+
+class SynthesisError(ReproError):
+    """The synthesis cost model could not map or fit a design."""
+
+
+class DeviceCapacityError(SynthesisError):
+    """A netlist does not fit on the targeted FPGA device."""

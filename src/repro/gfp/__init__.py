@@ -1,0 +1,31 @@
+"""GFP — Generic Framing Procedure (ITU-T G.7041), the baseline rival.
+
+When the paper was written, HDLC-like framing (PPP-over-SONET) and the
+then-new GFP were the two candidate layer-2 framings for IP over
+SDH/SONET.  They differ in exactly the dimension the P5's byte sorter
+exists to handle:
+
+* **HDLC** delineates with flag octets, so payload bytes equal to the
+  flag must be *escaped* — overhead is payload-dependent (0.8 % on
+  random data, 100 % adversarial worst case), and the word-parallel
+  datapath needs the paper's sorter;
+* **GFP** delineates with a length + CRC header (cHEC), like ATM's
+  HEC: overhead is a constant 8 bytes per frame regardless of payload
+  content, no stuffing, no sorter — at the cost of a multiplicative
+  scrambler and HEC hunting on the receive side.
+
+Implementing the baseline makes the trade quantitative — see
+``benchmarks/bench_baseline_gfp.py``.
+"""
+
+from repro.gfp.frame import GfpFrame, GfpType, core_header, idle_frame
+from repro.gfp.delineator import GfpDelineator, GfpState
+
+__all__ = [
+    "GfpFrame",
+    "GfpType",
+    "core_header",
+    "idle_frame",
+    "GfpDelineator",
+    "GfpState",
+]

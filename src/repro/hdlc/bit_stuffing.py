@@ -1,0 +1,75 @@
+"""Bit-synchronous HDLC transparency (zero-bit insertion), RFC 1662 §5.
+
+On bit-synchronous links the flag ``01111110`` is protected by
+inserting a ``0`` after any run of five consecutive ``1`` bits in the
+frame body, rather than by octet escaping.  The P5 targets the
+octet-synchronous SONET mapping, but the paper's framing method
+citation (RFC 1662) covers both, and the delineation benchmarks use
+this as a point of comparison for transparency overhead.
+
+Functions operate on 0/1 ``numpy.uint8`` arrays (see
+:mod:`repro.utils.bits` for byte<->bit conversion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AbortError, FramingError
+
+__all__ = ["bit_stuff", "bit_unstuff"]
+
+
+def bit_stuff(bits: np.ndarray) -> np.ndarray:
+    """Insert a 0 after every run of five consecutive 1 bits."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    out = []
+    run = 0
+    for bit in bits:
+        out.append(int(bit))
+        if bit:
+            run += 1
+            if run == 5:
+                out.append(0)
+                run = 0
+        else:
+            run = 0
+    return np.array(out, dtype=np.uint8)
+
+
+def bit_unstuff(bits: np.ndarray) -> np.ndarray:
+    """Remove inserted zeros (inverse of :func:`bit_stuff`).
+
+    Raises
+    ------
+    AbortError
+        On seven or more consecutive ones (HDLC abort / idle).
+    FramingError
+        On six consecutive ones followed by zero — that is the flag
+        pattern, which must not appear inside a frame body.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    out = []
+    run = 0
+    i = 0
+    n = bits.size
+    while i < n:
+        bit = int(bits[i])
+        if bit:
+            run += 1
+            if run == 6:
+                raise FramingError(f"flag/abort pattern inside bit-stuffed body at bit {i}")
+            out.append(1)
+            i += 1
+        else:
+            if run == 5:
+                # This zero was inserted by the stuffer: drop it.
+                run = 0
+                i += 1
+                continue
+            run = 0
+            out.append(0)
+            i += 1
+    if run >= 5:
+        raise AbortError("bit stream ends inside a ones run (possible abort)")
+    return np.array(out, dtype=np.uint8)

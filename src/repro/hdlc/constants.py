@@ -1,0 +1,25 @@
+"""Octet values defined by RFC 1662 (HDLC-like framing).
+
+These three constants are the whole vocabulary of the paper's Escape
+Generate / Escape Detect units: frames are delimited by ``0x7E``, any
+payload occurrence of a reserved octet is replaced by ``0x7D`` followed
+by the octet XORed with ``0x20``.
+"""
+
+from __future__ import annotations
+
+#: Frame delimiter ("flag sequence"), 0b01111110.
+FLAG_OCTET = 0x7E
+
+#: Control escape octet.
+ESC_OCTET = 0x7D
+
+#: Value XORed into an escaped octet ("complement the 6th bit").
+ESCAPE_XOR = 0x20
+
+#: An escape immediately followed by a flag aborts the frame in progress.
+ABORT_SEQUENCE = bytes([ESC_OCTET, FLAG_OCTET])
+
+#: Default PPP address and control field values (RFC 1662 section 3.1).
+DEFAULT_ADDRESS = 0xFF
+DEFAULT_CONTROL = 0x03

@@ -1,0 +1,183 @@
+"""Whole-frame HDLC encode/decode with FCS, RFC 1662 sections 3–4.
+
+:class:`HdlcFramer` is the behavioural model of the complete TX/RX
+datapath the P5 implements: on transmit it appends the FCS, applies
+octet transparency and wraps the result in flags; on receive it
+reverses the process and verifies the FCS (by value and, equivalently,
+by the RFC's magic-residue method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crc import CRC32, CrcSpec, TableCrc
+from repro.errors import FcsError, FramingError, OversizeFrameError, RuntFrameError
+from repro.hdlc.accm import Accm
+from repro.hdlc.byte_stuffing import stuff, unstuff
+from repro.hdlc.constants import FLAG_OCTET
+
+__all__ = ["HdlcFramer", "DecodedFrame"]
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """A successfully delineated and checked frame.
+
+    Attributes
+    ----------
+    content:
+        The frame body with transparency removed and FCS stripped —
+        for PPP this is address/control/protocol/information.
+    fcs:
+        The FCS value carried by the frame (already verified).
+    wire_length:
+        Octets consumed on the line including both flags; used by the
+        efficiency analyses.
+    """
+
+    content: bytes
+    fcs: int
+    wire_length: int
+
+
+def _fcs_trailer(spec: CrcSpec, value: int) -> bytes:
+    """Serialise an FCS value least-significant octet first (RFC 1662)."""
+    return value.to_bytes(spec.width // 8, "little")
+
+
+def _fcs_from_trailer(spec: CrcSpec, trailer: bytes) -> int:
+    return int.from_bytes(trailer, "little")
+
+
+class HdlcFramer:
+    """Encode/decode HDLC-like frames with a selectable FCS.
+
+    Parameters
+    ----------
+    fcs_spec:
+        ``repro.crc.CRC16_X25`` (FCS-16) or ``repro.crc.CRC32``
+        (FCS-32; the P5 default "for accuracy purposes").
+    accm:
+        Optional async control character map; ``None`` means
+        octet-synchronous rules (only 0x7D/0x7E escaped).
+    max_content:
+        Receive guard: decoded content longer than this raises
+        :class:`~repro.errors.OversizeFrameError`.  PPP's default MRU
+        is 1500 information octets; the extra headroom covers
+        address/control/protocol.
+    """
+
+    def __init__(
+        self,
+        fcs_spec: CrcSpec = CRC32,
+        accm: Optional[Accm] = None,
+        max_content: int = 1500 + 8,
+    ) -> None:
+        if fcs_spec.width not in (16, 32):
+            raise ValueError(f"FCS must be 16 or 32 bits, got {fcs_spec.width}")
+        self.fcs_spec = fcs_spec
+        self.accm = accm
+        self.max_content = max_content
+        self._crc = TableCrc(fcs_spec)
+
+    @property
+    def fcs_octets(self) -> int:
+        """Size of the FCS trailer in octets (2 or 4)."""
+        return self.fcs_spec.width // 8
+
+    # ---------------------------------------------------------------- encode
+    def compute_fcs(self, content: bytes) -> int:
+        """FCS over the unstuffed frame content (addr..information)."""
+        return self._crc.compute(content)
+
+    def encode(self, content: bytes, *, leading_flag: bool = True) -> bytes:
+        """Build the on-wire frame: ``[7E] stuffed(content + FCS) 7E``.
+
+        ``leading_flag=False`` supports back-to-back frames sharing a
+        single flag, as RFC 1662 permits and the P5 transmitter does
+        when frames are queued without idle time.
+        """
+        fcs = self.compute_fcs(content)
+        body = stuff(content + _fcs_trailer(self.fcs_spec, fcs), self.accm)
+        head = bytes([FLAG_OCTET]) if leading_flag else b""
+        return head + body + bytes([FLAG_OCTET])
+
+    def encode_stream(self, contents: List[bytes]) -> bytes:
+        """Encode several frames back-to-back with shared flags."""
+        out = bytearray([FLAG_OCTET])
+        for content in contents:
+            out += self.encode(content, leading_flag=False)
+        return bytes(out)
+
+    # ---------------------------------------------------------------- decode
+    def decode_body(self, body: bytes, *, wire_length: Optional[int] = None) -> DecodedFrame:
+        """Decode the octets *between* flags: unstuff, split FCS, verify.
+
+        Raises :class:`RuntFrameError`, :class:`FcsError`,
+        :class:`OversizeFrameError` or any transparency error from
+        :func:`repro.hdlc.byte_stuffing.unstuff`.
+        """
+        clear = unstuff(body)
+        if len(clear) < self.fcs_octets + 1:
+            raise RuntFrameError(
+                f"frame body of {len(clear)} octets cannot hold content + FCS-{self.fcs_spec.width}"
+            )
+        content, trailer = clear[: -self.fcs_octets], clear[-self.fcs_octets :]
+        if len(content) > self.max_content:
+            raise OversizeFrameError(
+                f"decoded content {len(content)} exceeds maximum {self.max_content}"
+            )
+        carried = _fcs_from_trailer(self.fcs_spec, trailer)
+        computed = self.compute_fcs(content)
+        if carried != computed:
+            raise FcsError(carried, computed)
+        # Cross-check via the RFC 1662 magic-residue method: CRC over
+        # content *plus* trailer must equal the spec's residue.
+        residue = TableCrc(self.fcs_spec).update(clear).residue_value()
+        if residue != self.fcs_spec.residue:
+            raise FcsError(carried, computed, "FCS residue check failed")
+        return DecodedFrame(
+            content=content,
+            fcs=carried,
+            wire_length=wire_length if wire_length is not None else len(body) + 2,
+        )
+
+    def decode(self, wire: bytes) -> DecodedFrame:
+        """Decode one complete frame including its delimiting flags."""
+        if len(wire) < 2 or wire[0] != FLAG_OCTET or wire[-1] != FLAG_OCTET:
+            raise FramingError("frame must start and end with the flag octet 0x7E")
+        body = wire[1:-1]
+        # Tolerate flag padding/sharing at the boundaries.
+        body = body.strip(bytes([FLAG_OCTET]))
+        if not body:
+            raise RuntFrameError("no frame body between flags")
+        return self.decode_body(body, wire_length=len(wire))
+
+    def decode_stream(self, wire: bytes) -> List[DecodedFrame]:
+        """Split a flag-delimited stream into frames and decode each.
+
+        Empty inter-flag gaps (idle flags) are skipped, matching the
+        receiver FSM's behaviour of treating repeated flags as one.
+        """
+        frames: List[DecodedFrame] = []
+        for body, span in _split_bodies(wire):
+            frames.append(self.decode_body(body, wire_length=span))
+        return frames
+
+
+def _split_bodies(wire: bytes) -> List[Tuple[bytes, int]]:
+    """Yield (body, wire_span) for each non-empty inter-flag region."""
+    if not wire:
+        return []
+    regions: List[Tuple[bytes, int]] = []
+    start: Optional[int] = None
+    for i, byte in enumerate(wire):
+        if byte == FLAG_OCTET:
+            if start is not None and i > start:
+                regions.append((wire[start:i], i - start + 2))
+            start = i + 1
+    if start is not None and start < len(wire):
+        raise FramingError("stream ends inside an undelimited frame")
+    return regions

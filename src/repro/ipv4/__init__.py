@@ -1,0 +1,12 @@
+"""Minimal IPv4 datagram codec.
+
+The P5 exists to move IP datagrams over SONET; the examples and
+benchmarks therefore carry real, checksummed IPv4 packets rather than
+opaque blobs.  Only header construction/parsing and the internet
+checksum are needed — no routing or fragmentation reassembly.
+"""
+
+from repro.ipv4.header import Ipv4Header, internet_checksum
+from repro.ipv4.datagram import Ipv4Datagram
+
+__all__ = ["Ipv4Header", "Ipv4Datagram", "internet_checksum"]

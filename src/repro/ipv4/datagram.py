@@ -1,0 +1,55 @@
+"""Whole IPv4 datagrams: header + payload round-tripping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FramingError
+from repro.ipv4.header import Ipv4Header
+
+__all__ = ["Ipv4Datagram"]
+
+
+@dataclass(frozen=True)
+class Ipv4Datagram:
+    """An IPv4 packet ready to be handed to the PPP information field."""
+
+    header: Ipv4Header
+    payload: bytes
+
+    @classmethod
+    def build(
+        cls,
+        src: int,
+        dst: int,
+        payload: bytes,
+        *,
+        protocol: int = 17,
+        ttl: int = 64,
+        identification: int = 0,
+    ) -> "Ipv4Datagram":
+        """Construct a datagram with a consistent total_length."""
+        header = Ipv4Header(
+            src=src,
+            dst=dst,
+            total_length=Ipv4Header.HEADER_LEN + len(payload),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+        )
+        return cls(header, payload)
+
+    def encode(self) -> bytes:
+        return self.header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, *, verify: bool = True) -> "Ipv4Datagram":
+        header = Ipv4Header.decode(data, verify=verify)
+        if header.total_length > len(data):
+            raise FramingError(
+                f"datagram truncated: header claims {header.total_length}, got {len(data)}"
+            )
+        return cls(header, data[Ipv4Header.HEADER_LEN : header.total_length])
+
+    def __len__(self) -> int:
+        return self.header.total_length

@@ -1,0 +1,109 @@
+"""IPv4 header (RFC 791) and the internet checksum (RFC 1071)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import FramingError
+
+__all__ = ["internet_checksum", "Ipv4Header"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement sum of 16-bit words (vectorised)."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    words = np.frombuffer(data, dtype=">u2").astype(np.uint64)
+    total = int(words.sum())
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """A parsed IPv4 header (options unsupported — IHL fixed at 5).
+
+    ``src``/``dst`` are 32-bit host integers; see
+    :func:`repro.ppp.ipcp.format_ipv4` for dotted-quad rendering.
+    """
+
+    src: int
+    dst: int
+    total_length: int
+    identification: int = 0
+    ttl: int = 64
+    protocol: int = 17  # UDP by default
+    dscp: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+
+    HEADER_LEN = 20
+
+    def __post_init__(self) -> None:
+        for name, value, limit in (
+            ("src", self.src, 0xFFFFFFFF),
+            ("dst", self.dst, 0xFFFFFFFF),
+            ("total_length", self.total_length, 0xFFFF),
+            ("identification", self.identification, 0xFFFF),
+            ("ttl", self.ttl, 0xFF),
+            ("protocol", self.protocol, 0xFF),
+            ("dscp", self.dscp, 0x3F),
+            ("flags", self.flags, 0x7),
+            ("fragment_offset", self.fragment_offset, 0x1FFF),
+        ):
+            if not 0 <= value <= limit:
+                raise ValueError(f"{name}={value} out of range")
+        if self.total_length < self.HEADER_LEN:
+            raise ValueError("total_length smaller than the header itself")
+
+    def encode(self) -> bytes:
+        """Serialise with a correct header checksum."""
+        head = bytearray(self.HEADER_LEN)
+        head[0] = (4 << 4) | 5                       # version 4, IHL 5
+        head[1] = self.dscp << 2
+        head[2:4] = self.total_length.to_bytes(2, "big")
+        head[4:6] = self.identification.to_bytes(2, "big")
+        frag = (self.flags << 13) | self.fragment_offset
+        head[6:8] = frag.to_bytes(2, "big")
+        head[8] = self.ttl
+        head[9] = self.protocol
+        # checksum bytes 10:12 left zero for computation
+        head[12:16] = self.src.to_bytes(4, "big")
+        head[16:20] = self.dst.to_bytes(4, "big")
+        checksum = internet_checksum(bytes(head))
+        head[10:12] = checksum.to_bytes(2, "big")
+        return bytes(head)
+
+    @classmethod
+    def decode(cls, data: bytes, *, verify: bool = True) -> "Ipv4Header":
+        """Parse and (optionally) verify the checksum of a header."""
+        if len(data) < cls.HEADER_LEN:
+            raise FramingError("IPv4 header truncated")
+        if data[0] >> 4 != 4:
+            raise FramingError(f"not an IPv4 packet (version {data[0] >> 4})")
+        ihl = data[0] & 0x0F
+        if ihl != 5:
+            raise FramingError(f"IPv4 options unsupported (IHL {ihl})")
+        if verify and internet_checksum(data[: cls.HEADER_LEN]) != 0:
+            raise FramingError("IPv4 header checksum failed")
+        frag = int.from_bytes(data[6:8], "big")
+        return cls(
+            src=int.from_bytes(data[12:16], "big"),
+            dst=int.from_bytes(data[16:20], "big"),
+            total_length=int.from_bytes(data[2:4], "big"),
+            identification=int.from_bytes(data[4:6], "big"),
+            ttl=data[8],
+            protocol=data[9],
+            dscp=data[1] >> 2,
+            flags=frag >> 13,
+            fragment_offset=frag & 0x1FFF,
+        )
+
+    def decremented(self) -> "Ipv4Header":
+        """Copy with TTL reduced by one (forwarding model)."""
+        if self.ttl == 0:
+            raise ValueError("TTL already zero")
+        return replace(self, ttl=self.ttl - 1)

@@ -1,0 +1,11 @@
+"""Minimal IPv6 datagram codec.
+
+RFC 1661's design goal — "PPP is designed to allow the simultaneous
+use of multiple network-layer protocols" — needs a second network
+layer to demonstrate; IPv6 (PPP protocol 0x0057, negotiated by IPV6CP)
+is the natural one.
+"""
+
+from repro.ipv6.header import Ipv6Datagram, Ipv6Header, format_ipv6
+
+__all__ = ["Ipv6Header", "Ipv6Datagram", "format_ipv6"]

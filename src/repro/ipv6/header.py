@@ -1,0 +1,102 @@
+"""IPv6 fixed header (RFC 8200 section 3) and whole datagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FramingError
+
+__all__ = ["Ipv6Header", "Ipv6Datagram", "format_ipv6"]
+
+
+def format_ipv6(value: int) -> str:
+    """128-bit integer to the canonical-ish colon-hex form (no ``::``)."""
+    if value >> 128:
+        raise ValueError("IPv6 addresses are 128 bits")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    return ":".join(f"{g:x}" for g in groups)
+
+
+@dataclass(frozen=True)
+class Ipv6Header:
+    """The 40-byte fixed IPv6 header (no extension-header parsing)."""
+
+    src: int
+    dst: int
+    payload_length: int
+    next_header: int = 17       # UDP
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    HEADER_LEN = 40
+
+    def __post_init__(self) -> None:
+        for name, value, bits in (
+            ("src", self.src, 128),
+            ("dst", self.dst, 128),
+            ("payload_length", self.payload_length, 16),
+            ("next_header", self.next_header, 8),
+            ("hop_limit", self.hop_limit, 8),
+            ("traffic_class", self.traffic_class, 8),
+            ("flow_label", self.flow_label, 20),
+        ):
+            if value >> bits:
+                raise ValueError(f"{name} exceeds {bits} bits")
+
+    def encode(self) -> bytes:
+        head = bytearray(self.HEADER_LEN)
+        word0 = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        head[0:4] = word0.to_bytes(4, "big")
+        head[4:6] = self.payload_length.to_bytes(2, "big")
+        head[6] = self.next_header
+        head[7] = self.hop_limit
+        head[8:24] = self.src.to_bytes(16, "big")
+        head[24:40] = self.dst.to_bytes(16, "big")
+        return bytes(head)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv6Header":
+        if len(data) < cls.HEADER_LEN:
+            raise FramingError("IPv6 header truncated")
+        word0 = int.from_bytes(data[0:4], "big")
+        if word0 >> 28 != 6:
+            raise FramingError(f"not an IPv6 packet (version {word0 >> 28})")
+        return cls(
+            src=int.from_bytes(data[8:24], "big"),
+            dst=int.from_bytes(data[24:40], "big"),
+            payload_length=int.from_bytes(data[4:6], "big"),
+            next_header=data[6],
+            hop_limit=data[7],
+            traffic_class=(word0 >> 20) & 0xFF,
+            flow_label=word0 & 0xFFFFF,
+        )
+
+
+@dataclass(frozen=True)
+class Ipv6Datagram:
+    """Header + payload with consistent length accounting."""
+
+    header: Ipv6Header
+    payload: bytes
+
+    @classmethod
+    def build(cls, src: int, dst: int, payload: bytes, **kwargs) -> "Ipv6Datagram":
+        return cls(
+            Ipv6Header(src=src, dst=dst, payload_length=len(payload), **kwargs),
+            payload,
+        )
+
+    def encode(self) -> bytes:
+        return self.header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv6Datagram":
+        header = Ipv6Header.decode(data)
+        end = Ipv6Header.HEADER_LEN + header.payload_length
+        if len(data) < end:
+            raise FramingError("IPv6 datagram truncated")
+        return cls(header, data[Ipv6Header.HEADER_LEN : end])
+
+    def __len__(self) -> int:
+        return Ipv6Header.HEADER_LEN + len(self.payload)

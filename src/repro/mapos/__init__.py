@@ -1,0 +1,34 @@
+"""MAPOS — Multiple Access Protocol over SONET/SDH (RFC 2171).
+
+The paper makes the P5's address field *programmable* specifically
+"so that it is compatible with MAPOS systems": MAPOS keeps PPP's
+HDLC-like framing but turns the constant 0xFF address octet into a
+real station address switched by a central node.  This package
+implements the frame format, the address rules and a frame switch, so
+the programmability claim can be exercised end-to-end (see
+``examples/mapos_lan.py``).
+"""
+
+from repro.mapos.addresses import (
+    BROADCAST_ADDRESS,
+    group_address,
+    is_broadcast,
+    is_group,
+    station_address,
+    unpack_address,
+)
+from repro.mapos.frame import MAPOS_PROTO_IP, MAPOS_PROTO_NSP, MaposFrame
+from repro.mapos.switch import MaposSwitch
+
+__all__ = [
+    "BROADCAST_ADDRESS",
+    "station_address",
+    "group_address",
+    "unpack_address",
+    "is_broadcast",
+    "is_group",
+    "MaposFrame",
+    "MAPOS_PROTO_IP",
+    "MAPOS_PROTO_NSP",
+    "MaposSwitch",
+]

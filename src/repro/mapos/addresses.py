@@ -1,0 +1,64 @@
+"""MAPOS address rules (RFC 2171 section 2.2).
+
+An address octet packs a 7-bit value and an LSB that is always 1 (so
+an address can never alias the 0x7E flag, whose LSB is 0):
+
+* ``nnnnnnn1`` — unicast station address ``nnnnnnn``;
+* ``1111111`` + 1 = ``0xFF`` — broadcast;
+* the MSB set (and not broadcast) marks group addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "BROADCAST_ADDRESS",
+    "station_address",
+    "group_address",
+    "unpack_address",
+    "is_broadcast",
+    "is_group",
+]
+
+#: All-stations address.
+BROADCAST_ADDRESS = 0xFF
+
+
+def station_address(number: int) -> int:
+    """Encode unicast station ``number`` (1..63) as an address octet.
+
+    Station numbers are 6 bits in a single-switch MAPOS network (the
+    7th bit distinguishes group addresses); 0 is reserved.
+    """
+    if not 1 <= number <= 0x3F:
+        raise ValueError(f"station number must be 1..63, got {number}")
+    return (number << 1) | 1
+
+
+def group_address(group: int) -> int:
+    """Encode multicast group ``group`` (1..62) as an address octet."""
+    if not 1 <= group <= 0x3E:
+        raise ValueError(f"group number must be 1..62, got {group}")
+    return 0x80 | (group << 1) | 1
+
+
+def unpack_address(octet: int) -> Tuple[int, bool, bool]:
+    """Decode an address octet to ``(number, is_group, is_broadcast)``."""
+    if not 0 <= octet <= 0xFF:
+        raise ValueError(f"address octet out of range: {octet}")
+    if not octet & 1:
+        raise ValueError(f"malformed MAPOS address 0x{octet:02X} (LSB must be 1)")
+    if octet == BROADCAST_ADDRESS:
+        return (0x7F, False, True)
+    group = bool(octet & 0x80)
+    number = (octet >> 1) & (0x3F if group else 0x7F)
+    return (number, group, False)
+
+
+def is_broadcast(octet: int) -> bool:
+    return octet == BROADCAST_ADDRESS
+
+
+def is_group(octet: int) -> bool:
+    return octet != BROADCAST_ADDRESS and bool(octet & 0x80)

@@ -1,0 +1,57 @@
+"""MAPOS frame format (RFC 2171 section 2.1).
+
+Identical HDLC-like layout to PPP — flag / address / control /
+protocol(2) / information / FCS — except that the address octet is a
+real destination address, which is exactly why the P5 keeps its
+address matcher programmable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FramingError
+from repro.hdlc.constants import DEFAULT_CONTROL
+from repro.mapos.addresses import unpack_address
+
+__all__ = ["MaposFrame", "MAPOS_PROTO_IP", "MAPOS_PROTO_NSP"]
+
+#: IPv4 over MAPOS (same code point as PPP).
+MAPOS_PROTO_IP = 0x0021
+#: Node/Switch Protocol (address assignment), RFC 2171 section 5.
+MAPOS_PROTO_NSP = 0xFE01
+
+
+@dataclass(frozen=True)
+class MaposFrame:
+    """One MAPOS frame (content between the flags, before FCS)."""
+
+    address: int
+    protocol: int
+    information: bytes = b""
+    control: int = DEFAULT_CONTROL
+
+    def __post_init__(self) -> None:
+        unpack_address(self.address)  # validates
+        if not 0 <= self.protocol <= 0xFFFF:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+
+    def encode(self) -> bytes:
+        """Serialise to frame content (what the FCS covers)."""
+        return (
+            bytes([self.address, self.control])
+            + self.protocol.to_bytes(2, "big")
+            + self.information
+        )
+
+    @classmethod
+    def decode(cls, content: bytes) -> "MaposFrame":
+        """Parse frame content (no header compression in MAPOS)."""
+        if len(content) < 4:
+            raise FramingError("MAPOS frame shorter than its header")
+        return cls(
+            address=content[0],
+            control=content[1],
+            protocol=int.from_bytes(content[2:4], "big"),
+            information=content[4:],
+        )

@@ -1,0 +1,100 @@
+"""A MAPOS frame switch (RFC 2171 section 1: "unlike PPP, MAPOS
+provides multiple access capability using a SONET/SDH switch").
+
+Stations hang off numbered ports; the switch assigns each port its
+station address (the NSP function, simplified to an explicit
+:meth:`attach`) and forwards frames by destination address octet:
+unicast to the owning port, broadcast to all other ports, group
+addresses to subscribed ports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Set
+
+from repro.errors import ConfigError
+from repro.mapos.addresses import is_broadcast, is_group, station_address
+from repro.mapos.frame import MaposFrame
+
+__all__ = ["MaposSwitch", "SwitchPort"]
+
+
+@dataclass
+class SwitchPort:
+    """One switch port: its assigned address and delivery queue."""
+
+    number: int
+    address: int
+    inbox: Deque[MaposFrame] = field(default_factory=deque)
+    groups: Set[int] = field(default_factory=set)
+    frames_forwarded: int = 0
+
+
+class MaposSwitch:
+    """Address-learning-free MAPOS switch (addresses are assigned)."""
+
+    def __init__(self) -> None:
+        self._ports: Dict[int, SwitchPort] = {}
+        self._by_address: Dict[int, SwitchPort] = {}
+        self.frames_switched = 0
+        self.frames_dropped = 0
+
+    # ---------------------------------------------------------------- admin
+    def attach(self, port_number: int) -> SwitchPort:
+        """Attach a station; the switch assigns the port's address.
+
+        RFC 2171's NSP assigns addresses derived from the switch port
+        number — modelled directly: port n gets station address n.
+        """
+        if port_number in self._ports:
+            raise ConfigError(f"port {port_number} already attached")
+        port = SwitchPort(port_number, station_address(port_number))
+        self._ports[port_number] = port
+        self._by_address[port.address] = port
+        return port
+
+    def join_group(self, port_number: int, group_octet: int) -> None:
+        """Subscribe a port to a multicast group address octet."""
+        if not is_group(group_octet):
+            raise ConfigError(f"0x{group_octet:02X} is not a group address")
+        self._port(port_number).groups.add(group_octet)
+
+    def _port(self, number: int) -> SwitchPort:
+        try:
+            return self._ports[number]
+        except KeyError:
+            raise KeyError(f"no port {number} attached") from None
+
+    # ------------------------------------------------------------ forwarding
+    def ingress(self, from_port: int, frame: MaposFrame) -> List[int]:
+        """Switch one frame; returns the port numbers it was copied to."""
+        self._port(from_port)  # validate source
+        self.frames_switched += 1
+        address = frame.address
+        delivered: List[int] = []
+        if is_broadcast(address):
+            for port in self._ports.values():
+                if port.number != from_port:
+                    port.inbox.append(frame)
+                    port.frames_forwarded += 1
+                    delivered.append(port.number)
+        elif is_group(address):
+            for port in self._ports.values():
+                if port.number != from_port and address in port.groups:
+                    port.inbox.append(frame)
+                    port.frames_forwarded += 1
+                    delivered.append(port.number)
+        else:
+            port = self._by_address.get(address)
+            if port is None or port.number == from_port:
+                self.frames_dropped += 1
+            else:
+                port.inbox.append(frame)
+                port.frames_forwarded += 1
+                delivered.append(port.number)
+        return delivered
+
+    def ports(self) -> List[SwitchPort]:
+        return list(self._ports.values())

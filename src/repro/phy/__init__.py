@@ -1,0 +1,15 @@
+"""Simplified physical-layer models.
+
+The paper interfaces the P5 "to the most common optical transmission
+systems" through a simplified PHY interface; likewise here:
+
+* :mod:`repro.phy.line` — a Bernoulli bit-error line (and burst
+  errors) for error-injection experiments;
+* :mod:`repro.phy.serdes` — conversion between the word-wide datapath
+  beats and the serial octet stream.
+"""
+
+from repro.phy.line import BitErrorLine, make_beat_corruptor
+from repro.phy.serdes import deserialize, serialize
+
+__all__ = ["BitErrorLine", "make_beat_corruptor", "serialize", "deserialize"]

@@ -1,0 +1,79 @@
+"""Bit-error line models for error-injection experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.rtl.pipeline import WordBeat
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["BitErrorLine", "make_beat_corruptor"]
+
+
+class BitErrorLine:
+    """A memoryless (Bernoulli) binary channel over byte buffers.
+
+    Each transmitted bit is flipped independently with probability
+    ``ber``.  Vectorised: a whole buffer's error mask is drawn in one
+    numpy call.
+    """
+
+    def __init__(self, ber: float, seed: SeedLike = None) -> None:
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError("BER must be in [0, 1]")
+        self.ber = ber
+        self._rng = make_rng(seed)
+        self.bits_sent = 0
+        self.bits_flipped = 0
+
+    def transmit(self, data: bytes) -> bytes:
+        """Pass ``data`` through the channel."""
+        arr = np.frombuffer(data, dtype=np.uint8)
+        self.bits_sent += 8 * arr.size
+        if self.ber == 0.0 or arr.size == 0:
+            return data
+        flips = self._rng.random((arr.size, 8)) < self.ber
+        n_flips = int(flips.sum())
+        if n_flips == 0:
+            return data
+        self.bits_flipped += n_flips
+        masks = np.packbits(flips, axis=1, bitorder="little").reshape(-1)
+        return (arr ^ masks).tobytes()
+
+    def burst(self, data: bytes, start_bit: int, length_bits: int) -> bytes:
+        """Deterministically flip a contiguous bit range (burst error)."""
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        end = min(start_bit + length_bits, bits.size)
+        bits[start_bit:end] ^= 1
+        self.bits_flipped += max(0, end - start_bit)
+        return np.packbits(bits).tobytes()
+
+    @property
+    def observed_ber(self) -> float:
+        """Measured flip rate so far."""
+        return self.bits_flipped / self.bits_sent if self.bits_sent else 0.0
+
+
+def make_beat_corruptor(
+    ber: float, seed: SeedLike = None
+) -> Callable[[WordBeat], WordBeat]:
+    """A :class:`~repro.core.p5.PhyWire` ``corrupt`` hook flipping bits.
+
+    Only valid lanes are disturbed (invalid lanes carry no wire bits).
+    """
+    line = BitErrorLine(ber, seed)
+
+    def corrupt(beat: WordBeat) -> WordBeat:
+        payload = line.transmit(beat.payload())
+        lanes = list(beat.lanes)
+        cursor = 0
+        for i, ok in enumerate(beat.valid):
+            if ok:
+                lanes[i] = payload[cursor]
+                cursor += 1
+        return WordBeat(tuple(lanes), beat.valid, sof=beat.sof, eof=beat.eof)
+
+    corrupt.line = line  # expose stats to the caller
+    return corrupt

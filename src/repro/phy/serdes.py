@@ -1,0 +1,27 @@
+"""Serialiser/deserialiser between datapath words and the octet line."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.rtl.pipeline import WordBeat, beats_from_bytes, bytes_from_beats
+
+__all__ = ["serialize", "deserialize"]
+
+
+def serialize(beats: Iterable[WordBeat]) -> bytes:
+    """Datapath words to the transmitted octet stream.
+
+    Only valid lanes reach the wire — the PHY's transmit-enable per
+    lane, which is how partial tail words avoid padding the line.
+    """
+    return bytes_from_beats(beats)
+
+
+def deserialize(data: bytes, width_bytes: int) -> List[WordBeat]:
+    """Octet stream to full-width datapath words (ragged tail kept).
+
+    The PHY has no knowledge of frames, so no sof/eof marks are set —
+    delineation downstream discovers them from the flags.
+    """
+    return beats_from_bytes(data, width_bytes, frame_marks=False)

@@ -1,0 +1,70 @@
+"""The Point-to-Point Protocol (RFC 1661) and its control protocols.
+
+The paper's P5 accelerates the PPP *data path*; this package supplies
+the protocol machinery around it, implemented from the RFCs the paper
+cites:
+
+* :mod:`repro.ppp.frame` — PPP encapsulation (Figure 1 of the paper),
+  with ACFC/PFC header compression and a programmable address field
+  (the MAPOS-compatibility hook).
+* :mod:`repro.ppp.fsm` — the full RFC 1661 option-negotiation
+  automaton (10 states, 16 events).
+* :mod:`repro.ppp.lcp` / :mod:`repro.ppp.ipcp` — the Link Control
+  Protocol and the IP NCP built on that automaton.
+* :mod:`repro.ppp.session` — a complete link endpoint: delineator,
+  LCP, NCPs and the RFC 1661 phase diagram, used by the examples and
+  by the P5 OAM integration tests.
+"""
+
+from repro.ppp.protocol_numbers import (
+    PROTO_CHAP,
+    PROTO_IPCP,
+    PROTO_IPV4,
+    PROTO_LCP,
+    PROTO_PAP,
+    protocol_name,
+)
+from repro.ppp.frame import PPPFrame
+from repro.ppp.options import ConfigOption, pack_options, unpack_options
+from repro.ppp.fsm import Event, NegotiationFsm, State
+from repro.ppp.lcp import Lcp, LcpConfig
+from repro.ppp.ipcp import Ipcp, IpcpConfig
+from repro.ppp.magic import MagicNumberTracker
+from repro.ppp.pap import PapAuthenticator, PapClient
+from repro.ppp.chap import ChapAuthenticator, ChapPeer
+from repro.ppp.ipv6cp import Ipv6cp, Ipv6cpConfig
+from repro.ppp.lqm import LinkQualityMonitor
+from repro.ppp.reliable import NumberedModeLink
+from repro.ppp.session import LinkPhase, PppEndpoint, connect_endpoints
+
+__all__ = [
+    "PROTO_LCP",
+    "PROTO_IPCP",
+    "PROTO_IPV4",
+    "PROTO_PAP",
+    "PROTO_CHAP",
+    "protocol_name",
+    "PPPFrame",
+    "ConfigOption",
+    "pack_options",
+    "unpack_options",
+    "State",
+    "Event",
+    "NegotiationFsm",
+    "Lcp",
+    "LcpConfig",
+    "Ipcp",
+    "IpcpConfig",
+    "MagicNumberTracker",
+    "PapAuthenticator",
+    "PapClient",
+    "ChapAuthenticator",
+    "ChapPeer",
+    "Ipv6cp",
+    "Ipv6cpConfig",
+    "LinkQualityMonitor",
+    "NumberedModeLink",
+    "LinkPhase",
+    "PppEndpoint",
+    "connect_endpoints",
+]

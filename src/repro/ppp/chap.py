@@ -1,0 +1,224 @@
+"""CHAP — Challenge-Handshake Authentication Protocol (RFC 1994).
+
+The stronger alternative to PAP: the authenticator sends a random
+challenge, the peer answers with ``MD5(id || secret || challenge)``,
+and the secret never crosses the wire.  RFC 1994 also recommends
+periodic re-challenges on an open link, which this implementation
+supports (`rechallenge`).
+
+Packet format (shared RFC 1661 header)::
+
+    code(1) id(1) length(2) data
+
+    Challenge/Response data: value_size(1) value(...) name(...)
+    Success/Failure data:    message(...)
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.ppp.protocol_numbers import PROTO_CHAP
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["ChapCode", "ChapAuthenticator", "ChapPeer", "chap_response_value"]
+
+
+class ChapCode(enum.IntEnum):
+    """RFC 1994 packet codes."""
+
+    CHALLENGE = 1
+    RESPONSE = 2
+    SUCCESS = 3
+    FAILURE = 4
+
+#: The MD5 algorithm number (the only one RFC 1994 requires).
+CHAP_ALGORITHM_MD5 = 5
+
+
+def chap_response_value(identifier: int, secret: bytes, challenge: bytes) -> bytes:
+    """``MD5(id || secret || challenge)`` per RFC 1994 section 2."""
+    return hashlib.md5(bytes([identifier]) + secret + challenge).digest()
+
+
+def _packet(code: int, identifier: int, data: bytes) -> bytes:
+    return bytes([code, identifier]) + (4 + len(data)).to_bytes(2, "big") + data
+
+
+def _value_packet(code: int, identifier: int, value: bytes, name: bytes) -> bytes:
+    if len(value) > 0xFF:
+        raise ValueError("CHAP value longer than one length octet allows")
+    return _packet(code, identifier, bytes([len(value)]) + value + name)
+
+
+def _parse_value_packet(raw: bytes) -> Tuple[int, int, bytes, bytes]:
+    """Return (code, identifier, value, name) of a Challenge/Response."""
+    if len(raw) < 5:
+        raise ProtocolError("CHAP packet shorter than its header")
+    code, identifier = raw[0], raw[1]
+    length = int.from_bytes(raw[2:4], "big")
+    if length > len(raw) or length < 5:
+        raise ProtocolError("CHAP length field inconsistent")
+    value_size = raw[4]
+    if 5 + value_size > length:
+        raise ProtocolError("CHAP value overruns the packet")
+    value = raw[5 : 5 + value_size]
+    name = raw[5 + value_size : length]
+    return code, identifier, value, name
+
+
+class ChapAuthenticator:
+    """The challenger: issues challenges and verifies responses.
+
+    Parameters
+    ----------
+    secrets:
+        Mapping from peer name to shared secret.
+    local_name:
+        Our name, carried in the Challenge packet.
+    """
+
+    protocol_number = PROTO_CHAP
+
+    def __init__(
+        self,
+        secrets: Dict[bytes, bytes],
+        *,
+        local_name: bytes = b"authenticator",
+        challenge_size: int = 16,
+        max_failures: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        self.secrets = dict(secrets)
+        self.local_name = local_name
+        self.challenge_size = challenge_size
+        self.max_failures = max_failures
+        self._rng = make_rng(seed)
+        self.outbox: Deque[bytes] = deque()
+        self._identifier = 0
+        self._outstanding: Optional[bytes] = None   # the open challenge value
+        self.authenticated: Optional[bytes] = None
+        self.failures = 0
+        self.challenges_sent = 0
+
+    @property
+    def done(self) -> bool:
+        return self.authenticated is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.failures >= self.max_failures
+
+    # ---------------------------------------------------------------- driver
+    def start(self) -> None:
+        """Issue the initial challenge (LCP just opened)."""
+        self._send_challenge()
+
+    def rechallenge(self) -> None:
+        """Periodic re-authentication on an open link (RFC 1994 §2)."""
+        self.authenticated = None
+        self._send_challenge()
+
+    def _send_challenge(self) -> None:
+        self._identifier = (self._identifier + 1) & 0xFF
+        value = self._rng.bytes(self.challenge_size)
+        self._outstanding = value
+        self.challenges_sent += 1
+        self.outbox.append(
+            _value_packet(ChapCode.CHALLENGE, self._identifier, value, self.local_name)
+        )
+
+    def tick(self) -> None:
+        """Retransmit the open challenge on timeout."""
+        if not self.done and not self.failed and self._outstanding is not None:
+            self.outbox.append(
+                _value_packet(
+                    ChapCode.CHALLENGE,
+                    self._identifier,
+                    self._outstanding,
+                    self.local_name,
+                )
+            )
+
+    # --------------------------------------------------------------- receive
+    def receive_packet(self, raw: bytes) -> None:
+        if len(raw) < 4 or raw[0] != ChapCode.RESPONSE:
+            return
+        code, identifier, value, name = _parse_value_packet(raw)
+        if identifier != self._identifier or self._outstanding is None:
+            return  # stale response
+        secret = self.secrets.get(name)
+        expected = (
+            chap_response_value(identifier, secret, self._outstanding)
+            if secret is not None
+            else None
+        )
+        if expected is not None and value == expected:
+            self.authenticated = name
+            self._outstanding = None
+            self.outbox.append(_packet(ChapCode.SUCCESS, identifier, b"ok"))
+        else:
+            self.failures += 1
+            self.outbox.append(_packet(ChapCode.FAILURE, identifier, b"denied"))
+            if not self.failed:
+                self._send_challenge()   # a fresh challenge each attempt
+
+    def drain_outbox(self) -> List[bytes]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+
+class ChapPeer:
+    """The responder: answers challenges with the hashed secret."""
+
+    protocol_number = PROTO_CHAP
+
+    def __init__(self, name: bytes, secret: bytes) -> None:
+        self.name = name
+        self.secret = secret
+        self.outbox: Deque[bytes] = deque()
+        self.acked = False
+        self.naked = False
+        self.responses_sent = 0
+
+    @property
+    def done(self) -> bool:
+        return self.acked
+
+    @property
+    def failed(self) -> bool:
+        return self.naked
+
+    def start(self) -> None:
+        """CHAP peers are passive until challenged."""
+
+    def tick(self) -> None:
+        """Nothing to retransmit: the authenticator drives the timing."""
+
+    def receive_packet(self, raw: bytes) -> None:
+        if len(raw) < 4:
+            return
+        code = raw[0]
+        if code == ChapCode.CHALLENGE:
+            _, identifier, value, _name = _parse_value_packet(raw)
+            response = chap_response_value(identifier, self.secret, value)
+            self.responses_sent += 1
+            self.outbox.append(
+                _value_packet(ChapCode.RESPONSE, identifier, response, self.name)
+            )
+            # A new challenge reopens the question (re-authentication).
+            self.acked = False
+        elif code == ChapCode.SUCCESS:
+            self.acked = True
+        elif code == ChapCode.FAILURE:
+            self.naked = True
+
+    def drain_outbox(self) -> List[bytes]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out

@@ -1,0 +1,337 @@
+"""Shared machinery for PPP control protocols (LCP and the NCP family).
+
+RFC 1661 section 5 defines a common packet format for every control
+protocol::
+
+    code (1) | identifier (1) | length (2, covers the whole packet) | data
+
+:class:`ControlPacket` is that codec.  :class:`ControlProtocol` wires
+packet handling to the :class:`~repro.ppp.fsm.NegotiationFsm`: it owns
+identifier management, the option-negotiation policy hooks, and an
+outbound packet queue the link layer drains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple, Union
+from collections import deque
+
+from repro.errors import ProtocolError
+from repro.ppp.fsm import Event, FsmActions, NegotiationFsm, State
+from repro.ppp.options import ConfigOption, pack_options, unpack_options
+
+__all__ = ["Code", "ControlPacket", "ControlProtocol", "OptionVerdict"]
+
+
+class Code(enum.IntEnum):
+    """RFC 1661 control-protocol packet codes."""
+
+    CONFIGURE_REQUEST = 1
+    CONFIGURE_ACK = 2
+    CONFIGURE_NAK = 3
+    CONFIGURE_REJECT = 4
+    TERMINATE_REQUEST = 5
+    TERMINATE_ACK = 6
+    CODE_REJECT = 7
+    PROTOCOL_REJECT = 8
+    ECHO_REQUEST = 9
+    ECHO_REPLY = 10
+    DISCARD_REQUEST = 11
+
+
+@dataclass(frozen=True)
+class ControlPacket:
+    """One LCP/NCP packet."""
+
+    code: int
+    identifier: int
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        length = 4 + len(self.data)
+        if length > 0xFFFF:
+            raise ValueError("control packet too long")
+        return bytes([self.code, self.identifier]) + length.to_bytes(2, "big") + self.data
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ControlPacket":
+        if len(raw) < 4:
+            raise ProtocolError("control packet shorter than its header")
+        code, identifier = raw[0], raw[1]
+        length = int.from_bytes(raw[2:4], "big")
+        if length < 4 or length > len(raw):
+            raise ProtocolError(f"control packet length field {length} is inconsistent")
+        # Octets beyond `length` are padding and ignored (RFC 1661 §5).
+        return cls(code, identifier, raw[4:length])
+
+    def options(self) -> List[ConfigOption]:
+        """Parse the data field as a configure-option list."""
+        return unpack_options(self.data)
+
+
+#: Verdict on one received option: "ack", ("nak", replacement), or "rej".
+OptionVerdict = Union[str, Tuple[str, ConfigOption]]
+
+
+class ControlProtocol(FsmActions):
+    """Base class for LCP/NCPs: FSM glue + option negotiation policy.
+
+    Subclasses implement the policy hooks:
+
+    * :meth:`desired_options` — the Configure-Request we send;
+    * :meth:`judge_option` — ack/nak/reject each option a peer requests;
+    * :meth:`absorb_nak` / :meth:`absorb_reject` — adapt our request to
+      the peer's feedback;
+    * :meth:`commit` — called on this-layer-up with both option sets.
+
+    Outbound packets are queued on :attr:`outbox` as raw packet bytes;
+    the owning :class:`~repro.ppp.session.PppEndpoint` wraps them in
+    PPP/HDLC framing.
+    """
+
+    #: PPP protocol number; subclasses must override.
+    protocol_number: int = 0
+
+    name = "control"
+
+    def __init__(self, *, max_configure: int = 10, max_terminate: int = 2) -> None:
+        self.fsm = NegotiationFsm(
+            self,
+            max_configure=max_configure,
+            max_terminate=max_terminate,
+            name=self.name,
+        )
+        self.outbox: Deque[bytes] = deque()
+        self._next_id = 0
+        self._request_id: Optional[int] = None        # id of our outstanding Conf-Req
+        self._pending_request: List[ConfigOption] = []  # our current request contents
+        self._request_seeded = False                  # desired_options() loaded once
+        self._last_terminate_id: Optional[int] = None
+        self._received_request: Optional[ControlPacket] = None
+        self._received_verdicts: List[Tuple[ConfigOption, OptionVerdict]] = []
+        self._reject_packet: Optional[ControlPacket] = None
+        self.local_options: Dict[int, ConfigOption] = {}
+        self.peer_options: Dict[int, ConfigOption] = {}
+        self.layer_up = False
+
+    # ------------------------------------------------------------ policy API
+    def desired_options(self) -> List[ConfigOption]:
+        """Options for our Configure-Request (subclass hook)."""
+        return []
+
+    def judge_option(self, option: ConfigOption) -> OptionVerdict:
+        """Verdict on one peer-requested option (subclass hook).
+
+        Default: reject everything unknown, which is the conservative
+        RFC-conformant behaviour.
+        """
+        return "rej"
+
+    def absorb_nak(self, option: ConfigOption) -> Optional[ConfigOption]:
+        """Peer nak'd ``option``; return our amended option (or None to drop)."""
+        return option
+
+    def absorb_reject(self, option: ConfigOption) -> None:
+        """Peer rejected ``option``; remove it from future requests."""
+
+    def commit(self) -> None:
+        """Negotiation converged (this-layer-up); subclass hook."""
+
+    # --------------------------------------------------------------- helpers
+    def _allocate_id(self) -> int:
+        ident = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFF
+        return ident
+
+    def _send(self, code: int, identifier: int, data: bytes = b"") -> None:
+        self.outbox.append(ControlPacket(code, identifier, data).encode())
+
+    # ------------------------------------------------------------ FSM actions
+    def tlu(self) -> None:
+        self.layer_up = True
+        self.commit()
+
+    def tld(self) -> None:
+        self.layer_up = False
+
+    def scr(self) -> None:
+        if not self._request_seeded:
+            self._pending_request = list(self.desired_options())
+            self._request_seeded = True
+        self._request_id = self._allocate_id()
+        self._send(
+            Code.CONFIGURE_REQUEST, self._request_id, pack_options(self._pending_request)
+        )
+
+    def sca(self) -> None:
+        assert self._received_request is not None
+        self._send(
+            Code.CONFIGURE_ACK,
+            self._received_request.identifier,
+            self._received_request.data,
+        )
+        # The ack commits the peer's option set.
+        self.peer_options = {
+            opt.type: opt for opt in self._received_request.options()
+        }
+
+    def scn(self) -> None:
+        assert self._received_request is not None
+        rejected = [o for o, v in self._received_verdicts if v == "rej"]
+        naked = [v[1] for _, v in self._received_verdicts
+                 if isinstance(v, tuple) and v[0] == "nak"]
+        # RFC 1661: Reject takes precedence over Nak within one reply.
+        if rejected:
+            self._send(
+                Code.CONFIGURE_REJECT,
+                self._received_request.identifier,
+                pack_options(rejected),
+            )
+        else:
+            self._send(
+                Code.CONFIGURE_NAK,
+                self._received_request.identifier,
+                pack_options(naked),
+            )
+
+    def str_(self) -> None:
+        self._send(Code.TERMINATE_REQUEST, self._allocate_id())
+
+    def sta(self) -> None:
+        ident = (
+            self._last_terminate_id
+            if self._last_terminate_id is not None
+            else self._allocate_id()
+        )
+        self._send(Code.TERMINATE_ACK, ident)
+
+    def scj(self) -> None:
+        assert self._reject_packet is not None
+        self._send(
+            Code.CODE_REJECT,
+            self._allocate_id(),
+            self._reject_packet.encode()[:64],
+        )
+
+    def ser(self) -> None:
+        # Echo handling is LCP-specific; the base treats RXR as a no-op
+        # beyond the FSM bookkeeping.
+        pass
+
+    # --------------------------------------------------------- packet intake
+    def receive_packet(self, raw: bytes) -> None:
+        """Process one received control packet for this protocol."""
+        packet = ControlPacket.decode(raw)
+        handler = {
+            Code.CONFIGURE_REQUEST: self._on_configure_request,
+            Code.CONFIGURE_ACK: self._on_configure_ack,
+            Code.CONFIGURE_NAK: self._on_configure_nak_or_rej,
+            Code.CONFIGURE_REJECT: self._on_configure_nak_or_rej,
+            Code.TERMINATE_REQUEST: self._on_terminate_request,
+            Code.TERMINATE_ACK: self._on_terminate_ack,
+            Code.CODE_REJECT: self._on_code_reject,
+        }.get(packet.code)
+        if handler is None:
+            handler = self._on_unknown_code
+        handler(packet)
+
+    # Individual code handlers --------------------------------------------
+    def _on_configure_request(self, packet: ControlPacket) -> None:
+        try:
+            options = packet.options()
+        except ProtocolError:
+            self._reject_packet = packet
+            self.fsm.receive(Event.RUC)
+            return
+        verdicts = [(opt, self.judge_option(opt)) for opt in options]
+        self._received_request = packet
+        self._received_verdicts = verdicts
+        if all(v == "ack" for _, v in verdicts):
+            self.fsm.receive(Event.RCR_PLUS)
+        else:
+            self.fsm.receive(Event.RCR_MINUS)
+
+    def _on_configure_ack(self, packet: ControlPacket) -> None:
+        if packet.identifier != self._request_id:
+            return  # silently discard stale acks (RFC 1661 §5.2)
+        if packet.data != pack_options(self._pending_request):
+            return  # option list must match exactly
+        self.local_options = {opt.type: opt for opt in self._pending_request}
+        self.fsm.receive(Event.RCA)
+
+    def _on_configure_nak_or_rej(self, packet: ControlPacket) -> None:
+        if packet.identifier != self._request_id:
+            return
+        try:
+            feedback = packet.options()
+        except ProtocolError:
+            self._reject_packet = packet
+            self.fsm.receive(Event.RUC)
+            return
+        if packet.code == Code.CONFIGURE_NAK:
+            amended: List[ConfigOption] = []
+            feedback_by_type = {opt.type: opt for opt in feedback}
+            for opt in self._pending_request:
+                if opt.type in feedback_by_type:
+                    replacement = self.absorb_nak(feedback_by_type[opt.type])
+                    if replacement is not None:
+                        amended.append(replacement)
+                else:
+                    amended.append(opt)
+            self._pending_request = amended
+        else:  # CONFIGURE_REJECT
+            rejected_types = {opt.type for opt in feedback}
+            for opt in feedback:
+                self.absorb_reject(opt)
+            self._pending_request = [
+                opt for opt in self._pending_request if opt.type not in rejected_types
+            ]
+        self.fsm.receive(Event.RCN)
+
+    def _on_terminate_request(self, packet: ControlPacket) -> None:
+        self._last_terminate_id = packet.identifier
+        self.fsm.receive(Event.RTR)
+        self._last_terminate_id = None
+
+    def _on_terminate_ack(self, packet: ControlPacket) -> None:
+        self.fsm.receive(Event.RTA)
+
+    def _on_code_reject(self, packet: ControlPacket) -> None:
+        # A Code-Reject of a code we never send is catastrophic (RXJ-);
+        # rejection of optional codes is tolerable (RXJ+).
+        try:
+            rejected_code = packet.data[0] if packet.data else 0
+        except IndexError:  # pragma: no cover - defensive
+            rejected_code = 0
+        if rejected_code in self._catastrophic_codes():
+            self.fsm.receive(Event.RXJ_MINUS)
+        else:
+            self.fsm.receive(Event.RXJ_PLUS)
+
+    def _catastrophic_codes(self) -> Tuple[int, ...]:
+        """Codes whose rejection makes the protocol unusable."""
+        return (
+            Code.CONFIGURE_REQUEST,
+            Code.CONFIGURE_ACK,
+            Code.CONFIGURE_NAK,
+            Code.CONFIGURE_REJECT,
+            Code.TERMINATE_REQUEST,
+            Code.TERMINATE_ACK,
+        )
+
+    def _on_unknown_code(self, packet: ControlPacket) -> None:
+        self._reject_packet = packet
+        self.fsm.receive(Event.RUC)
+
+    # ----------------------------------------------------------- conveniences
+    def drain_outbox(self) -> List[bytes]:
+        """Remove and return all queued outbound packets."""
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+    @property
+    def state(self) -> State:
+        return self.fsm.state

@@ -1,0 +1,144 @@
+"""PPP encapsulation — Figure 1 of the paper, RFC 1661 section 2.
+
+A :class:`PPPFrame` is the *unstuffed* frame content between the HDLC
+flags and before the FCS: address, control, protocol and information
+fields.  Header compression (ACFC, PFC) and the paper's programmable
+address field (MAPOS compatibility) are handled here; transparency and
+FCS belong to :mod:`repro.hdlc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import FramingError
+from repro.hdlc.constants import DEFAULT_ADDRESS, DEFAULT_CONTROL
+from repro.ppp.protocol_numbers import (
+    is_valid_protocol,
+    pfc_compressible,
+    protocol_name,
+)
+
+__all__ = ["PPPFrame"]
+
+
+@dataclass(frozen=True)
+class PPPFrame:
+    """One PPP frame: address, control, protocol and information.
+
+    Attributes
+    ----------
+    protocol:
+        16-bit PPP protocol number (e.g. 0x0021 IPv4, 0xC021 LCP).
+    information:
+        Payload octets (up to the negotiated MRU).
+    address:
+        HDLC address octet.  0xFF ("all stations") by default; the P5
+        keeps this *programmable* so the same datapath serves MAPOS,
+        whose address octet carries a real station address.
+    control:
+        HDLC control octet, 0x03 (UI, unnumbered) in normal operation.
+    """
+
+    protocol: int
+    information: bytes = b""
+    address: int = DEFAULT_ADDRESS
+    control: int = DEFAULT_CONTROL
+    padding: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 0xFF:
+            raise ValueError(f"address octet out of range: {self.address}")
+        if not 0 <= self.control <= 0xFF:
+            raise ValueError(f"control octet out of range: {self.control}")
+        if not is_valid_protocol(self.protocol):
+            raise ValueError(f"malformed PPP protocol number 0x{self.protocol:04X}")
+
+    @property
+    def protocol_label(self) -> str:
+        """Human-readable protocol name (for traces and the OAM)."""
+        return protocol_name(self.protocol)
+
+    # ---------------------------------------------------------------- encode
+    def encode(self, *, acfc: bool = False, pfc: bool = False) -> bytes:
+        """Serialise to frame content (the octets the FCS covers).
+
+        ``acfc``
+            Address-and-Control-Field-Compression: omit the FF 03
+            header.  RFC 1662 forbids compressing a non-default
+            address/control, so those frames keep their header.
+        ``pfc``
+            Protocol-Field-Compression: protocols <= 0xFF shrink to a
+            single octet.
+        """
+        out = bytearray()
+        compress_header = (
+            acfc
+            and self.address == DEFAULT_ADDRESS
+            and self.control == DEFAULT_CONTROL
+        )
+        if not compress_header:
+            out.append(self.address)
+            out.append(self.control)
+        if pfc and pfc_compressible(self.protocol):
+            out.append(self.protocol & 0xFF)
+        else:
+            out += self.protocol.to_bytes(2, "big")
+        out += self.information
+        out += self.padding
+        return bytes(out)
+
+    # ---------------------------------------------------------------- decode
+    @classmethod
+    def decode(
+        cls,
+        content: bytes,
+        *,
+        expected_address: Optional[int] = DEFAULT_ADDRESS,
+    ) -> "PPPFrame":
+        """Parse frame content, auto-detecting ACFC and PFC.
+
+        Receivers must accept compressed headers at any time (RFC 1662
+        section 3.2): the address/control fields are present iff the
+        first octet equals the station address with 0x03 following
+        (an information field can never begin that way because the
+        protocol-number encoding forbids an even first octet... except
+        that 0xFF is odd — the RFC resolves this by requiring the pair).
+
+        ``expected_address``
+            The programmed station address (0xFF for plain PPP).  Pass
+            ``None`` to accept any address octet (promiscuous MAPOS
+            monitor mode).
+        """
+        if len(content) < 1:
+            raise FramingError("empty PPP frame content")
+        address = DEFAULT_ADDRESS
+        control = DEFAULT_CONTROL
+        offset = 0
+        match = expected_address if expected_address is not None else content[0]
+        if len(content) >= 2 and content[0] == match and content[1] == DEFAULT_CONTROL:
+            address, control, offset = content[0], content[1], 2
+        if len(content) < offset + 1:
+            raise FramingError("PPP frame truncated before protocol field")
+        first = content[offset]
+        if first & 0x01:
+            protocol = first
+            offset += 1
+        else:
+            if len(content) < offset + 2:
+                raise FramingError("PPP frame truncated inside protocol field")
+            protocol = (first << 8) | content[offset + 1]
+            offset += 2
+        if not is_valid_protocol(protocol):
+            raise FramingError(f"malformed protocol number 0x{protocol:04X}")
+        return cls(
+            protocol=protocol,
+            information=content[offset:],
+            address=address,
+            control=control,
+        )
+
+    def with_information(self, information: bytes) -> "PPPFrame":
+        """Copy of this frame with a different payload."""
+        return replace(self, information=information)

@@ -1,0 +1,387 @@
+"""The RFC 1661 option-negotiation automaton (section 4).
+
+This is the "well-defined finite state machine" the paper's
+Transmitter/Receiver control units execute under OAM supervision.  It
+is implemented as the literal RFC 1661 state-transition table — ten
+states, sixteen events, with the action vocabulary (tlu, tld, tls,
+tlf, irc, zrc, scr, sca, scn, str, sta, scj, ser) delegated to an
+:class:`FsmActions` implementation (LCP, IPCP, or a test double).
+
+Time is logical: the restart timer is modelled by :meth:`NegotiationFsm.tick`,
+which the link scheduler calls to signal one timeout period elapsing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = ["State", "Event", "FsmActions", "NegotiationFsm"]
+
+
+class State(enum.Enum):
+    """RFC 1661 section 4.2 states."""
+
+    INITIAL = 0
+    STARTING = 1
+    CLOSED = 2
+    STOPPED = 3
+    CLOSING = 4
+    STOPPING = 5
+    REQ_SENT = 6
+    ACK_RCVD = 7
+    ACK_SENT = 8
+    OPENED = 9
+
+
+class Event(enum.Enum):
+    """RFC 1661 section 4.3 events."""
+
+    UP = "Up"
+    DOWN = "Down"
+    OPEN = "Open"
+    CLOSE = "Close"
+    TO_PLUS = "TO+"       # timeout with restart counter > 0
+    TO_MINUS = "TO-"      # timeout with restart counter expired
+    RCR_PLUS = "RCR+"     # receive acceptable Configure-Request
+    RCR_MINUS = "RCR-"    # receive unacceptable Configure-Request
+    RCA = "RCA"           # receive Configure-Ack
+    RCN = "RCN"           # receive Configure-Nak/Rej
+    RTR = "RTR"           # receive Terminate-Request
+    RTA = "RTA"           # receive Terminate-Ack
+    RUC = "RUC"           # receive unknown code
+    RXJ_PLUS = "RXJ+"     # receive acceptable Code-/Protocol-Reject
+    RXJ_MINUS = "RXJ-"    # receive catastrophic Code-/Protocol-Reject
+    RXR = "RXR"           # receive Echo-Request/Reply/Discard
+
+
+class FsmActions:
+    """Action delegate; subclass and override what the protocol needs.
+
+    Method names follow the RFC's abbreviations.  ``scn`` covers both
+    Send-Configure-Nak and Send-Configure-Rej (the concrete protocol
+    decides which, based on the offending options).
+    """
+
+    def tlu(self) -> None:
+        """This-Layer-Up: the link is usable by the layer above."""
+
+    def tld(self) -> None:
+        """This-Layer-Down: the layer above must stop using the link."""
+
+    def tls(self) -> None:
+        """This-Layer-Started: ask the lower layer to come up."""
+
+    def tlf(self) -> None:
+        """This-Layer-Finished: the lower layer is no longer needed."""
+
+    def scr(self) -> None:
+        """Send-Configure-Request."""
+
+    def sca(self) -> None:
+        """Send-Configure-Ack (for the request just received)."""
+
+    def scn(self) -> None:
+        """Send-Configure-Nak or -Rej (for the request just received)."""
+
+    def str_(self) -> None:
+        """Send-Terminate-Request."""
+
+    def sta(self) -> None:
+        """Send-Terminate-Ack."""
+
+    def scj(self) -> None:
+        """Send-Code-Reject."""
+
+    def ser(self) -> None:
+        """Send-Echo-Reply."""
+
+
+# One table row: (actions tuple, next state). Actions are FsmActions
+# attribute names plus the pseudo-actions 'irc'/'zrc' handled inline.
+_Row = Tuple[Tuple[str, ...], State]
+
+S = State
+_TABLE: Dict[Event, Dict[State, _Row]] = {
+    Event.UP: {
+        S.INITIAL: ((), S.CLOSED),
+        S.STARTING: (("irc", "scr"), S.REQ_SENT),
+    },
+    Event.DOWN: {
+        S.CLOSED: ((), S.INITIAL),
+        S.STOPPED: (("tls",), S.STARTING),
+        S.CLOSING: ((), S.INITIAL),
+        S.STOPPING: ((), S.STARTING),
+        S.REQ_SENT: ((), S.STARTING),
+        S.ACK_RCVD: ((), S.STARTING),
+        S.ACK_SENT: ((), S.STARTING),
+        S.OPENED: (("tld",), S.STARTING),
+    },
+    Event.OPEN: {
+        S.INITIAL: (("tls",), S.STARTING),
+        S.STARTING: ((), S.STARTING),
+        S.CLOSED: (("irc", "scr"), S.REQ_SENT),
+        S.STOPPED: ((), S.STOPPED),
+        S.CLOSING: ((), S.STOPPING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: ((), S.REQ_SENT),
+        S.ACK_RCVD: ((), S.ACK_RCVD),
+        S.ACK_SENT: ((), S.ACK_SENT),
+        S.OPENED: ((), S.OPENED),
+    },
+    Event.CLOSE: {
+        S.INITIAL: ((), S.INITIAL),
+        S.STARTING: (("tlf",), S.INITIAL),
+        S.CLOSED: ((), S.CLOSED),
+        S.STOPPED: ((), S.CLOSED),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.CLOSING),
+        S.REQ_SENT: (("irc", "str_"), S.CLOSING),
+        S.ACK_RCVD: (("irc", "str_"), S.CLOSING),
+        S.ACK_SENT: (("irc", "str_"), S.CLOSING),
+        S.OPENED: (("tld", "irc", "str_"), S.CLOSING),
+    },
+    Event.TO_PLUS: {
+        S.CLOSING: (("str_",), S.CLOSING),
+        S.STOPPING: (("str_",), S.STOPPING),
+        S.REQ_SENT: (("scr",), S.REQ_SENT),
+        S.ACK_RCVD: (("scr",), S.REQ_SENT),
+        S.ACK_SENT: (("scr",), S.ACK_SENT),
+    },
+    Event.TO_MINUS: {
+        S.CLOSING: (("tlf",), S.CLOSED),
+        S.STOPPING: (("tlf",), S.STOPPED),
+        S.REQ_SENT: (("tlf",), S.STOPPED),
+        S.ACK_RCVD: (("tlf",), S.STOPPED),
+        S.ACK_SENT: (("tlf",), S.STOPPED),
+    },
+    Event.RCR_PLUS: {
+        S.CLOSED: (("sta",), S.CLOSED),
+        S.STOPPED: (("irc", "scr", "sca"), S.ACK_SENT),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: (("sca",), S.ACK_SENT),
+        S.ACK_RCVD: (("sca", "tlu"), S.OPENED),
+        S.ACK_SENT: (("sca",), S.ACK_SENT),
+        S.OPENED: (("tld", "scr", "sca"), S.ACK_SENT),
+    },
+    Event.RCR_MINUS: {
+        S.CLOSED: (("sta",), S.CLOSED),
+        S.STOPPED: (("irc", "scr", "scn"), S.REQ_SENT),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: (("scn",), S.REQ_SENT),
+        S.ACK_RCVD: (("scn",), S.ACK_RCVD),
+        S.ACK_SENT: (("scn",), S.REQ_SENT),
+        S.OPENED: (("tld", "scr", "scn"), S.REQ_SENT),
+    },
+    Event.RCA: {
+        S.CLOSED: (("sta",), S.CLOSED),
+        S.STOPPED: (("sta",), S.STOPPED),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: (("irc",), S.ACK_RCVD),
+        S.ACK_RCVD: (("scr",), S.REQ_SENT),          # crossed connection
+        S.ACK_SENT: (("irc", "tlu"), S.OPENED),
+        S.OPENED: (("tld", "scr"), S.REQ_SENT),
+    },
+    Event.RCN: {
+        S.CLOSED: (("sta",), S.CLOSED),
+        S.STOPPED: (("sta",), S.STOPPED),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: (("irc", "scr"), S.REQ_SENT),
+        S.ACK_RCVD: (("scr",), S.REQ_SENT),
+        S.ACK_SENT: (("irc", "scr"), S.ACK_SENT),
+        S.OPENED: (("tld", "scr"), S.REQ_SENT),
+    },
+    Event.RTR: {
+        S.CLOSED: (("sta",), S.CLOSED),
+        S.STOPPED: (("sta",), S.STOPPED),
+        S.CLOSING: (("sta",), S.CLOSING),
+        S.STOPPING: (("sta",), S.STOPPING),
+        S.REQ_SENT: (("sta",), S.REQ_SENT),
+        S.ACK_RCVD: (("sta",), S.REQ_SENT),
+        S.ACK_SENT: (("sta",), S.REQ_SENT),
+        S.OPENED: (("tld", "zrc", "sta"), S.STOPPING),
+    },
+    Event.RTA: {
+        S.CLOSED: ((), S.CLOSED),
+        S.STOPPED: ((), S.STOPPED),
+        S.CLOSING: (("tlf",), S.CLOSED),
+        S.STOPPING: (("tlf",), S.STOPPED),
+        S.REQ_SENT: ((), S.REQ_SENT),
+        S.ACK_RCVD: ((), S.REQ_SENT),
+        S.ACK_SENT: ((), S.ACK_SENT),
+        S.OPENED: (("tld", "scr"), S.REQ_SENT),
+    },
+    Event.RUC: {
+        S.CLOSED: (("scj",), S.CLOSED),
+        S.STOPPED: (("scj",), S.STOPPED),
+        S.CLOSING: (("scj",), S.CLOSING),
+        S.STOPPING: (("scj",), S.STOPPING),
+        S.REQ_SENT: (("scj",), S.REQ_SENT),
+        S.ACK_RCVD: (("scj",), S.ACK_RCVD),
+        S.ACK_SENT: (("scj",), S.ACK_SENT),
+        S.OPENED: (("scj",), S.OPENED),
+    },
+    Event.RXJ_PLUS: {
+        S.CLOSED: ((), S.CLOSED),
+        S.STOPPED: ((), S.STOPPED),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: ((), S.REQ_SENT),
+        S.ACK_RCVD: ((), S.REQ_SENT),
+        S.ACK_SENT: ((), S.ACK_SENT),
+        S.OPENED: ((), S.OPENED),
+    },
+    Event.RXJ_MINUS: {
+        S.CLOSED: (("tlf",), S.CLOSED),
+        S.STOPPED: (("tlf",), S.STOPPED),
+        S.CLOSING: (("tlf",), S.CLOSED),
+        S.STOPPING: (("tlf",), S.STOPPED),
+        S.REQ_SENT: (("tlf",), S.STOPPED),
+        S.ACK_RCVD: (("tlf",), S.STOPPED),
+        S.ACK_SENT: (("tlf",), S.STOPPED),
+        S.OPENED: (("tld", "irc", "str_"), S.STOPPING),
+    },
+    Event.RXR: {
+        S.CLOSED: ((), S.CLOSED),
+        S.STOPPED: ((), S.STOPPED),
+        S.CLOSING: ((), S.CLOSING),
+        S.STOPPING: ((), S.STOPPING),
+        S.REQ_SENT: ((), S.REQ_SENT),
+        S.ACK_RCVD: ((), S.ACK_RCVD),
+        S.ACK_SENT: ((), S.ACK_SENT),
+        S.OPENED: (("ser",), S.OPENED),
+    },
+}
+del S
+
+
+@dataclass
+class _Transition:
+    """Log record for tests and OAM traces."""
+
+    event: Event
+    from_state: State
+    to_state: State
+    actions: Tuple[str, ...]
+
+
+class NegotiationFsm:
+    """RFC 1661 automaton with logical restart timer.
+
+    Parameters
+    ----------
+    actions:
+        Delegate receiving the action callbacks.
+    max_configure, max_terminate:
+        RFC 1661 restart-counter defaults (10 and 2).
+    """
+
+    def __init__(
+        self,
+        actions: FsmActions,
+        *,
+        max_configure: int = 10,
+        max_terminate: int = 2,
+        name: str = "fsm",
+    ) -> None:
+        self.actions = actions
+        self.max_configure = max_configure
+        self.max_terminate = max_terminate
+        self.name = name
+        self.state = State.INITIAL
+        self.restart_counter = 0
+        self.history: List[_Transition] = []
+
+    # -------------------------------------------------------------- plumbing
+    def _dispatch(self, event: Event) -> None:
+        row = _TABLE[event].get(self.state)
+        if row is None:
+            raise ProtocolError(
+                f"{self.name}: event {event.value} is impossible in state {self.state.name}"
+            )
+        action_names, next_state = row
+        from_state = self.state
+        # State is committed before actions run so that actions sending
+        # packets observe the new state (matters for scr in Opened).
+        self.state = next_state
+        for action in action_names:
+            if action == "irc":
+                self._init_restart_counter(event)
+            elif action == "zrc":
+                self.restart_counter = 0
+            else:
+                getattr(self.actions, action)()
+        self.history.append(_Transition(event, from_state, next_state, action_names))
+
+    def _init_restart_counter(self, event: Event) -> None:
+        # Terminate phases use Max-Terminate; configure exchanges use
+        # Max-Configure (RFC 1661 section 4.6).
+        if event in (Event.CLOSE, Event.RXJ_MINUS) or self.state in (
+            State.CLOSING,
+            State.STOPPING,
+        ):
+            self.restart_counter = self.max_terminate
+        else:
+            self.restart_counter = self.max_configure
+
+    @property
+    def timer_running(self) -> bool:
+        """RFC 1661: the restart timer runs only in the 4 unstable states."""
+        return self.state in (
+            State.CLOSING,
+            State.STOPPING,
+            State.REQ_SENT,
+            State.ACK_RCVD,
+            State.ACK_SENT,
+        )
+
+    # ------------------------------------------------------- external events
+    def up(self) -> None:
+        """Lower layer is up."""
+        self._dispatch(Event.UP)
+
+    def down(self) -> None:
+        """Lower layer is down."""
+        self._dispatch(Event.DOWN)
+
+    def open(self) -> None:
+        """Administrative Open."""
+        self._dispatch(Event.OPEN)
+
+    def close(self) -> None:
+        """Administrative Close."""
+        self._dispatch(Event.CLOSE)
+
+    def tick(self) -> None:
+        """One restart-timeout period elapsed (logical time).
+
+        Decides TO+ vs TO- from the restart counter; a no-op when the
+        timer is not running.
+        """
+        if not self.timer_running:
+            return
+        if self.restart_counter > 0:
+            self.restart_counter -= 1
+            self._dispatch(Event.TO_PLUS)
+        else:
+            self._dispatch(Event.TO_MINUS)
+
+    # ------------------------------------------------------- receive events
+    def receive(self, event: Event) -> None:
+        """Inject a packet-derived event (RCR+/-, RCA, RCN, RTR, ...)."""
+        if event in (Event.UP, Event.DOWN, Event.OPEN, Event.CLOSE,
+                     Event.TO_PLUS, Event.TO_MINUS):
+            raise ValueError(f"{event} is not a receive event; call its method")
+        self._dispatch(event)
+
+    @property
+    def is_opened(self) -> bool:
+        """Convenience: negotiation has converged."""
+        return self.state is State.OPENED

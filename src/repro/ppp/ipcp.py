@@ -1,0 +1,107 @@
+"""IPCP — the IP Network Control Protocol (RFC 1332, minimal profile).
+
+Negotiates the IP-Address option: each side requests its own address;
+a peer requesting ``0.0.0.0`` is asking to be assigned one, which we
+answer with a Configure-Nak carrying an address from our pool.  This
+is exactly the negotiation a gigabit IP-over-SONET line card performs
+before datagrams flow through the P5 datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ppp.ncp import NcpBase
+from repro.ppp.options import (
+    IPCP_OPT_IP_ADDRESS,
+    ConfigOption,
+    ip_address_option,
+)
+from repro.ppp.protocol_numbers import PROTO_IPCP, PROTO_IPV4
+from repro.ppp.control import OptionVerdict
+
+__all__ = ["Ipcp", "IpcpConfig", "format_ipv4", "parse_ipv4"]
+
+
+def parse_ipv4(text: str) -> int:
+    """Dotted-quad string to 32-bit host integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """32-bit host integer to dotted-quad string."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass
+class IpcpConfig:
+    """Local IPCP policy.
+
+    Attributes
+    ----------
+    local_address:
+        Address we request for ourselves (0 = ask peer to assign).
+    assign_peer:
+        Address to hand a peer that requests 0.0.0.0, or None to
+        reject unnumbered peers.
+    """
+
+    local_address: int = 0
+    assign_peer: Optional[int] = None
+
+
+class Ipcp(NcpBase):
+    """The IP NCP."""
+
+    protocol_number = PROTO_IPCP
+    data_protocol_number = PROTO_IPV4
+    name = "IPCP"
+
+    def __init__(self, config: Optional[IpcpConfig] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.config = config or IpcpConfig()
+        self.peer_address: int = 0
+
+    def desired_options(self) -> List[ConfigOption]:
+        return [ip_address_option(self.config.local_address)]
+
+    def judge_option(self, option: ConfigOption) -> OptionVerdict:
+        if option.type != IPCP_OPT_IP_ADDRESS or len(option.data) != 4:
+            return "rej"
+        address = option.value_uint()
+        if address == 0:
+            if self.config.assign_peer is None:
+                return "rej"
+            return ("nak", ip_address_option(self.config.assign_peer))
+        return "ack"
+
+    def absorb_nak(self, option: ConfigOption) -> Optional[ConfigOption]:
+        if option.type == IPCP_OPT_IP_ADDRESS and len(option.data) == 4:
+            # The peer assigned us an address; adopt it.
+            self.config.local_address = option.value_uint()
+            return ip_address_option(self.config.local_address)
+        return option
+
+    def commit(self) -> None:
+        opt = self.peer_options.get(IPCP_OPT_IP_ADDRESS)
+        if opt is not None and len(opt.data) == 4:
+            self.peer_address = opt.value_uint()
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def local_address_str(self) -> str:
+        return format_ipv4(self.config.local_address)
+
+    @property
+    def peer_address_str(self) -> str:
+        return format_ipv4(self.peer_address)

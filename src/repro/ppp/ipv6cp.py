@@ -1,0 +1,100 @@
+"""IPV6CP — the IPv6 Network Control Protocol (RFC 5072, minimal).
+
+Negotiates the Interface-Identifier option (type 1, 64 bits): each
+side proposes its identifier; a zero or *colliding* identifier is
+Config-Naked with a suggested replacement.  Running IPV6CP next to
+IPCP on one link demonstrates RFC 1661's "simultaneous use of multiple
+network-layer protocols" — the P5 datapath is protocol-agnostic, so
+only the protocol field differs on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ppp.control import OptionVerdict
+from repro.ppp.ncp import NcpBase
+from repro.ppp.options import ConfigOption
+from repro.ppp.protocol_numbers import PROTO_IPV6, PROTO_IPV6CP
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["Ipv6cp", "Ipv6cpConfig", "IPV6CP_OPT_INTERFACE_ID"]
+
+IPV6CP_OPT_INTERFACE_ID = 1
+
+
+def interface_id_option(identifier: int) -> ConfigOption:
+    """Encode the 64-bit Interface-Identifier option."""
+    if identifier >> 64:
+        raise ValueError("interface identifiers are 64 bits")
+    return ConfigOption(IPV6CP_OPT_INTERFACE_ID, identifier.to_bytes(8, "big"))
+
+
+@dataclass
+class Ipv6cpConfig:
+    """Local IPV6CP policy.
+
+    Attributes
+    ----------
+    interface_id:
+        The 64-bit identifier we propose (0 = ask the peer to assign,
+        per RFC 5072 section 4.1).
+    """
+
+    interface_id: int = 0
+
+
+class Ipv6cp(NcpBase):
+    """The IPv6 NCP."""
+
+    protocol_number = PROTO_IPV6CP
+    data_protocol_number = PROTO_IPV6
+    name = "IPV6CP"
+
+    def __init__(
+        self,
+        config: Optional[Ipv6cpConfig] = None,
+        *,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.config = config or Ipv6cpConfig()
+        self._rng = make_rng(seed)
+        if self.config.interface_id == 0:
+            self.config.interface_id = self._random_id()
+        self.peer_interface_id: int = 0
+
+    def _random_id(self) -> int:
+        return int(self._rng.integers(1, 1 << 62)) | (1 << 62)
+
+    def desired_options(self) -> List[ConfigOption]:
+        return [interface_id_option(self.config.interface_id)]
+
+    def judge_option(self, option: ConfigOption) -> OptionVerdict:
+        if option.type != IPV6CP_OPT_INTERFACE_ID or len(option.data) != 8:
+            return "rej"
+        identifier = option.value_uint()
+        if identifier == 0 or identifier == self.config.interface_id:
+            # Zero or collision: suggest a fresh unique identifier.
+            suggestion = self._random_id()
+            while suggestion == self.config.interface_id:
+                suggestion = self._random_id()   # pragma: no cover - 2^-62
+            return ("nak", interface_id_option(suggestion))
+        return "ack"
+
+    def absorb_nak(self, option: ConfigOption) -> Optional[ConfigOption]:
+        if option.type == IPV6CP_OPT_INTERFACE_ID and len(option.data) == 8:
+            self.config.interface_id = option.value_uint()
+            return interface_id_option(self.config.interface_id)
+        return option
+
+    def commit(self) -> None:
+        opt = self.peer_options.get(IPV6CP_OPT_INTERFACE_ID)
+        if opt is not None and len(opt.data) == 8:
+            self.peer_interface_id = opt.value_uint()
+
+    def link_local_address(self) -> int:
+        """fe80::/64 plus the negotiated interface identifier."""
+        return (0xFE80 << 112) | self.config.interface_id

@@ -1,0 +1,330 @@
+"""The Link Control Protocol (RFC 1661 section 6, RFC 1570 extensions).
+
+LCP "establishes, configures and tests the data-link connection"
+(paper section 2).  This implementation negotiates the options the P5
+datapath is programmable over:
+
+* **MRU** — sets the receiver's oversize guard;
+* **ACCM** — selects the escape set of the Escape Generate unit;
+* **Magic-Number** — loopback detection via
+  :class:`~repro.ppp.magic.MagicNumberTracker`;
+* **PFC / ACFC** — header compression, changing the byte layout the
+  receiver's field parser must accept;
+* **FCS-Alternatives** (RFC 1570) — 16- vs 32-bit CRC, i.e. which
+  parallel CRC matrix the CRC unit loads.
+
+Echo-Request/Reply and Discard-Request are handled in the Opened
+state, giving the link-quality examples something to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ppp.control import Code, ControlPacket, ControlProtocol, OptionVerdict
+from repro.ppp.fsm import Event, State
+from repro.ppp.magic import MagicNumberTracker
+from repro.ppp.options import (
+    FCS_16,
+    FCS_32,
+    OPT_ACCM,
+    OPT_ACFC,
+    OPT_AUTH_PROTOCOL,
+    OPT_FCS_ALTERNATIVES,
+    OPT_MAGIC_NUMBER,
+    OPT_MRU,
+    OPT_PFC,
+    ConfigOption,
+    accm_option,
+    acfc_option,
+    fcs_alternatives_option,
+    magic_number_option,
+    mru_option,
+    pfc_option,
+)
+from repro.ppp.protocol_numbers import PROTO_CHAP, PROTO_LCP, PROTO_PAP
+from repro.utils.rng import SeedLike
+
+__all__ = ["Lcp", "LcpConfig"]
+
+
+@dataclass
+class LcpConfig:
+    """Local LCP policy: what we request and what we accept.
+
+    Attributes
+    ----------
+    mru:
+        The MRU we advertise (1500 default; omitted from the request
+        when it equals the default, per RFC practice).
+    accm:
+        ACCM mask we request (0 on octet-synchronous SONET links).
+    request_magic:
+        Whether to negotiate a magic number (needed for loopback
+        detection and echo tests).
+    request_pfc, request_acfc:
+        Whether to ask for header compression.
+    fcs_flags:
+        FCS-Alternatives flags to request (e.g. ``FCS_32``), or None
+        to stay with the default 16-bit FCS wire format.
+    min_peer_mru / max_peer_mru:
+        Acceptance window for the peer's MRU request; outside it we
+        nak with the nearest bound.
+    """
+
+    mru: int = 1500
+    accm: int = 0x00000000
+    request_magic: bool = True
+    request_pfc: bool = False
+    request_acfc: bool = False
+    fcs_flags: Optional[int] = None
+    min_peer_mru: int = 128
+    max_peer_mru: int = 65535
+    allowed_fcs_flags: int = FCS_16 | FCS_32
+    #: Authentication protocol we demand of the peer (PROTO_PAP or
+    #: PROTO_CHAP), or None (set by the session from its auth_server).
+    require_auth: Optional[int] = None
+    #: Authentication protocols we are able to perform as the
+    #: authenticatee (set by the session from its auth_client).
+    acceptable_auth: Tuple[int, ...] = ()
+
+
+class Lcp(ControlProtocol):
+    """LCP endpoint logic on top of :class:`ControlProtocol`."""
+
+    protocol_number = PROTO_LCP
+    name = "LCP"
+
+    def __init__(
+        self,
+        config: Optional[LcpConfig] = None,
+        *,
+        magic_seed: SeedLike = None,
+        max_configure: int = 10,
+        max_terminate: int = 2,
+    ) -> None:
+        super().__init__(max_configure=max_configure, max_terminate=max_terminate)
+        self.config = config or LcpConfig()
+        self.magic = MagicNumberTracker(magic_seed)
+        self._pending_echo: Optional[ControlPacket] = None
+        self.echo_requests_seen = 0
+        self.echo_replies_seen = 0
+        self.discards_seen = 0
+        self.protocol_rejects: List[int] = []
+
+    # ------------------------------------------------------- request policy
+    def desired_options(self) -> List[ConfigOption]:
+        cfg = self.config
+        options: List[ConfigOption] = []
+        if cfg.mru != 1500:
+            options.append(mru_option(cfg.mru))
+        if cfg.accm != Accm_DEFAULT_SYNC:
+            options.append(accm_option(cfg.accm))
+        if cfg.request_magic:
+            options.append(magic_number_option(self.magic.local_magic))
+        if cfg.request_pfc:
+            options.append(pfc_option())
+        if cfg.request_acfc:
+            options.append(acfc_option())
+        if cfg.fcs_flags is not None:
+            options.append(fcs_alternatives_option(cfg.fcs_flags))
+        if cfg.require_auth is not None:
+            options.append(auth_protocol_option(cfg.require_auth))
+        return options
+
+    def judge_option(self, option: ConfigOption) -> OptionVerdict:
+        cfg = self.config
+        if option.type == OPT_MRU:
+            if len(option.data) != 2:
+                return "rej"
+            mru = option.value_uint()
+            if mru < cfg.min_peer_mru:
+                return ("nak", mru_option(cfg.min_peer_mru))
+            if mru > cfg.max_peer_mru:
+                return ("nak", mru_option(cfg.max_peer_mru))
+            return "ack"
+        if option.type == OPT_ACCM:
+            return "ack" if len(option.data) == 4 else "rej"
+        if option.type == OPT_MAGIC_NUMBER:
+            if len(option.data) != 4:
+                return "rej"
+            magic = option.value_uint()
+            if magic == 0 or self.magic.observe_peer_magic(magic):
+                # Zero magic or our own magic: suspected loopback —
+                # nak with a fresh random value (RFC 1661 §6.4).
+                return ("nak", magic_number_option(self.magic.renumber()))
+            return "ack"
+        if option.type == OPT_AUTH_PROTOCOL:
+            if len(option.data) < 2:
+                return "rej"
+            wanted = int.from_bytes(option.data[:2], "big")
+            well_formed = (
+                (wanted == PROTO_PAP and len(option.data) == 2)
+                or (wanted == PROTO_CHAP and len(option.data) == 3
+                    and option.data[2] == 5)   # MD5 only (RFC 1994)
+            )
+            if well_formed and wanted in cfg.acceptable_auth:
+                return "ack"
+            if cfg.acceptable_auth:
+                # Counter-propose the strongest protocol we can perform.
+                return ("nak", auth_protocol_option(cfg.acceptable_auth[0]))
+            return "rej"
+        if option.type in (OPT_PFC, OPT_ACFC):
+            return "ack" if not option.data else "rej"
+        if option.type == OPT_FCS_ALTERNATIVES:
+            if len(option.data) != 1:
+                return "rej"
+            flags = option.data[0]
+            if flags & ~cfg.allowed_fcs_flags:
+                allowed = flags & cfg.allowed_fcs_flags
+                if allowed:
+                    return ("nak", fcs_alternatives_option(allowed))
+                return "rej"
+            return "ack"
+        return "rej"
+
+    def scr(self) -> None:
+        # Each (re)transmitted Configure-Request proposes the *current*
+        # magic number: after a collision nak (loopback suspicion) the
+        # tracker renumbers, and the fresh value must go on the wire or
+        # the collision evidence could never accumulate (RFC 1661 §6.4).
+        if self._request_seeded and self.config.request_magic:
+            self._pending_request = [
+                magic_number_option(self.magic.local_magic)
+                if opt.type == OPT_MAGIC_NUMBER
+                else opt
+                for opt in self._pending_request
+            ]
+        super().scr()
+
+    def absorb_nak(self, option: ConfigOption) -> Optional[ConfigOption]:
+        if option.type == OPT_MRU and len(option.data) == 2:
+            self.config.mru = option.value_uint()
+            return mru_option(self.config.mru)
+        if option.type == OPT_MAGIC_NUMBER:
+            # Collision: pick a fresh magic and try again.
+            return magic_number_option(self.magic.renumber())
+        if option.type == OPT_ACCM and len(option.data) == 4:
+            # Peer wants more characters mapped: union is always safe.
+            self.config.accm |= option.value_uint()
+            return accm_option(self.config.accm)
+        if option.type == OPT_FCS_ALTERNATIVES and len(option.data) == 1:
+            self.config.fcs_flags = option.data[0]
+            return fcs_alternatives_option(self.config.fcs_flags)
+        return option
+
+    def absorb_reject(self, option: ConfigOption) -> None:
+        if option.type == OPT_AUTH_PROTOCOL:
+            self.config.require_auth = None
+        elif option.type == OPT_MAGIC_NUMBER:
+            self.config.request_magic = False
+        elif option.type == OPT_PFC:
+            self.config.request_pfc = False
+        elif option.type == OPT_ACFC:
+            self.config.request_acfc = False
+        elif option.type == OPT_FCS_ALTERNATIVES:
+            self.config.fcs_flags = None
+
+    # --------------------------------------------------- negotiated results
+    def negotiated_mru(self) -> int:
+        """MRU we must honour when *sending* (peer's acked request)."""
+        opt = self.peer_options.get(OPT_MRU)
+        return opt.value_uint() if opt and len(opt.data) == 2 else 1500
+
+    def peer_accepted_pfc(self) -> bool:
+        """We may compress the protocol field on transmit."""
+        return OPT_PFC in self.local_options
+
+    def peer_accepted_acfc(self) -> bool:
+        """We may compress address/control on transmit."""
+        return OPT_ACFC in self.local_options
+
+    def negotiated_fcs_flags(self) -> int:
+        """Effective FCS-Alternatives flags for our transmit direction."""
+        opt = self.local_options.get(OPT_FCS_ALTERNATIVES)
+        return opt.data[0] if opt and len(opt.data) == 1 else FCS_16
+
+    # ------------------------------------------------------------- LCP codes
+    def receive_packet(self, raw: bytes) -> None:
+        packet = ControlPacket.decode(raw)
+        if packet.code == Code.ECHO_REQUEST:
+            self._on_echo_request(packet)
+        elif packet.code == Code.ECHO_REPLY:
+            self._on_echo_reply(packet)
+        elif packet.code == Code.DISCARD_REQUEST:
+            self._on_discard(packet)
+        elif packet.code == Code.PROTOCOL_REJECT:
+            self._on_protocol_reject(packet)
+        else:
+            super().receive_packet(raw)
+
+    def _peer_magic_from(self, data: bytes) -> Optional[int]:
+        if len(data) >= 4:
+            return int.from_bytes(data[:4], "big")
+        return None
+
+    def _on_echo_request(self, packet: ControlPacket) -> None:
+        self.echo_requests_seen += 1
+        magic = self._peer_magic_from(packet.data)
+        if magic is not None:
+            self.magic.observe_peer_magic(magic)
+        self._pending_echo = packet
+        self.fsm.receive(Event.RXR)
+
+    def ser(self) -> None:
+        packet = self._pending_echo
+        if packet is None:
+            return
+        reply_magic = (
+            self.magic.local_magic if OPT_MAGIC_NUMBER in self.local_options else 0
+        )
+        data = reply_magic.to_bytes(4, "big") + packet.data[4:]
+        self._send(Code.ECHO_REPLY, packet.identifier, data)
+
+    def _on_echo_reply(self, packet: ControlPacket) -> None:
+        self.echo_replies_seen += 1
+        magic = self._peer_magic_from(packet.data)
+        if magic is not None:
+            self.magic.observe_peer_magic(magic)
+        self.fsm.receive(Event.RXR)
+
+    def _on_discard(self, packet: ControlPacket) -> None:
+        self.discards_seen += 1
+        self.fsm.receive(Event.RXR)
+
+    def _on_protocol_reject(self, packet: ControlPacket) -> None:
+        if len(packet.data) >= 2:
+            self.protocol_rejects.append(int.from_bytes(packet.data[:2], "big"))
+        # Rejection of a *network* protocol is tolerable.
+        self.fsm.receive(Event.RXJ_PLUS)
+
+    # ----------------------------------------------------------- transmit API
+    def send_echo_request(self, payload: bytes = b"") -> None:
+        """Queue an Echo-Request (Opened state only, RFC 1661 §5.8)."""
+        if self.state is not State.OPENED:
+            return
+        magic = self.magic.local_magic if OPT_MAGIC_NUMBER in self.local_options else 0
+        self._send(
+            Code.ECHO_REQUEST, self._allocate_id(), magic.to_bytes(4, "big") + payload
+        )
+
+    def send_protocol_reject(self, protocol: int, offending: bytes) -> None:
+        """Queue a Protocol-Reject for an unsupported protocol number."""
+        data = protocol.to_bytes(2, "big") + offending[:60]
+        self._send(Code.PROTOCOL_REJECT, self._allocate_id(), data)
+
+
+#: The octet-synchronous ACCM default (avoid importing Accm just for this).
+Accm_DEFAULT_SYNC = 0x00000000
+
+
+def auth_protocol_option(protocol: int) -> ConfigOption:
+    """Encode the Authentication-Protocol option for PAP or CHAP (MD5)."""
+    if protocol == PROTO_PAP:
+        return ConfigOption(OPT_AUTH_PROTOCOL, PROTO_PAP.to_bytes(2, "big"))
+    if protocol == PROTO_CHAP:
+        return ConfigOption(
+            OPT_AUTH_PROTOCOL, PROTO_CHAP.to_bytes(2, "big") + bytes([5])
+        )
+    raise ValueError(f"unsupported authentication protocol 0x{protocol:04X}")

@@ -1,0 +1,211 @@
+"""Link Quality Monitoring — LQR (RFC 1333).
+
+LCP's Quality-Protocol option (type 4) can negotiate Link-Quality-
+Report packets (protocol 0xC025): each side periodically transmits a
+snapshot of its transmit/receive counters, letting the peer compute
+packet and octet loss *per direction* without probes.  For a SONET
+line card this is the "is the span clean?" question the Protocol OAM
+ultimately answers.
+
+Packet layout (RFC 1333 section 3, twelve 32-bit fields)::
+
+    Magic | LastOutLQRs | LastOutPackets | LastOutOctets
+    PeerInLQRs | PeerInPackets | PeerInDiscards | PeerInErrors
+    PeerInOctets | PeerOutLQRs | PeerOutPackets | PeerOutOctets
+
+This implementation keeps the RFC's counter semantics: ``SaveInLQRs``
+etc. are latched at reception, and loss is computed over LQR-delimited
+measurement intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.ppp.protocol_numbers import PROTO_LQR
+
+__all__ = ["LqrPacket", "LinkQualityMonitor", "QualityVerdict"]
+
+_FIELDS = (
+    "magic",
+    "last_out_lqrs",
+    "last_out_packets",
+    "last_out_octets",
+    "peer_in_lqrs",
+    "peer_in_packets",
+    "peer_in_discards",
+    "peer_in_errors",
+    "peer_in_octets",
+    "peer_out_lqrs",
+    "peer_out_packets",
+    "peer_out_octets",
+)
+
+
+@dataclass(frozen=True)
+class LqrPacket:
+    """One Link-Quality-Report."""
+
+    magic: int = 0
+    last_out_lqrs: int = 0
+    last_out_packets: int = 0
+    last_out_octets: int = 0
+    peer_in_lqrs: int = 0
+    peer_in_packets: int = 0
+    peer_in_discards: int = 0
+    peer_in_errors: int = 0
+    peer_in_octets: int = 0
+    peer_out_lqrs: int = 0
+    peer_out_packets: int = 0
+    peer_out_octets: int = 0
+
+    def encode(self) -> bytes:
+        return b"".join(
+            (getattr(self, name) & 0xFFFFFFFF).to_bytes(4, "big")
+            for name in _FIELDS
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "LqrPacket":
+        if len(raw) < 48:
+            raise ProtocolError("LQR packets are 48 octets")
+        values = {
+            name: int.from_bytes(raw[4 * i : 4 * i + 4], "big")
+            for i, name in enumerate(_FIELDS)
+        }
+        return cls(**values)
+
+
+@dataclass
+class QualityVerdict:
+    """Loss figures for one LQR-delimited measurement interval."""
+
+    interval: int                  # ordinal of the interval
+    outbound_sent: int             # packets we sent in the interval
+    outbound_received: int         # of those, packets the peer saw
+    inbound_expected: int          # packets the peer sent us
+    inbound_received: int          # of those, packets we saw
+
+    @property
+    def outbound_loss(self) -> float:
+        if self.outbound_sent == 0:
+            return 0.0
+        lost = max(0, self.outbound_sent - self.outbound_received)
+        return lost / self.outbound_sent
+
+    @property
+    def inbound_loss(self) -> float:
+        if self.inbound_expected == 0:
+            return 0.0
+        lost = max(0, self.inbound_expected - self.inbound_received)
+        return lost / self.inbound_expected
+
+
+class LinkQualityMonitor:
+    """One side's LQR engine.
+
+    The owner feeds traffic events (:meth:`count_tx` / :meth:`count_rx`
+    / :meth:`count_rx_error`) and periodically calls
+    :meth:`build_report` to emit an LQR; incoming LQRs go to
+    :meth:`receive_report`, which yields a :class:`QualityVerdict` for
+    the closed interval (or None for the first report).
+
+    Parameters
+    ----------
+    magic:
+        Our negotiated LCP magic number (echoed in reports).
+    quality_threshold:
+        Maximum tolerable loss fraction per interval; :attr:`healthy`
+        goes False when either direction exceeds it.
+    """
+
+    protocol_number = PROTO_LQR
+
+    def __init__(self, magic: int = 0, *, quality_threshold: float = 0.1) -> None:
+        self.magic = magic
+        self.quality_threshold = quality_threshold
+        # Local transmit/receive counters (RFC 1333 section 4).
+        self.out_lqrs = 0
+        self.out_packets = 0
+        self.out_octets = 0
+        self.in_lqrs = 0
+        self.in_packets = 0
+        self.in_octets = 0
+        self.in_discards = 0
+        self.in_errors = 0
+        # Latched values of the peer's last report.
+        self._last_peer: Optional[LqrPacket] = None
+        self._in_packets_at_last_report = 0
+        self.verdicts: List[QualityVerdict] = []
+
+    # ---------------------------------------------------------- traffic taps
+    def count_tx(self, octets: int) -> None:
+        """One outbound packet of ``octets`` bytes left our transmitter."""
+        self.out_packets += 1
+        self.out_octets += octets
+
+    def count_rx(self, octets: int) -> None:
+        """One inbound packet arrived intact."""
+        self.in_packets += 1
+        self.in_octets += octets
+
+    def count_rx_error(self) -> None:
+        """One inbound frame failed FCS (or was otherwise dropped)."""
+        self.in_errors += 1
+
+    # -------------------------------------------------------------- reports
+    def build_report(self) -> bytes:
+        """Emit our next LQR (and count it as an outbound LQR)."""
+        self.out_lqrs += 1
+        peer = self._last_peer or LqrPacket()
+        packet = LqrPacket(
+            magic=self.magic,
+            last_out_lqrs=self.out_lqrs,
+            last_out_packets=self.out_packets,
+            last_out_octets=self.out_octets,
+            peer_in_lqrs=self.in_lqrs,
+            peer_in_packets=self.in_packets,
+            peer_in_discards=self.in_discards,
+            peer_in_errors=self.in_errors,
+            peer_in_octets=self.in_octets,
+            peer_out_lqrs=peer.last_out_lqrs,
+            peer_out_packets=peer.last_out_packets,
+            peer_out_octets=peer.last_out_octets,
+        )
+        return packet.encode()
+
+    def receive_report(self, raw: bytes) -> Optional[QualityVerdict]:
+        """Absorb the peer's LQR; returns the interval verdict if one
+        measurement interval just closed."""
+        packet = LqrPacket.decode(raw)
+        self.in_lqrs += 1
+        previous = self._last_peer
+        self._last_peer = packet
+        if previous is None:
+            self._in_packets_at_last_report = self.in_packets
+            return None
+        verdict = QualityVerdict(
+            interval=len(self.verdicts) + 1,
+            # What the peer says it received of what we said we sent:
+            outbound_sent=packet.peer_out_packets - previous.peer_out_packets,
+            outbound_received=packet.peer_in_packets - previous.peer_in_packets,
+            # What the peer sent vs what we actually got:
+            inbound_expected=packet.last_out_packets - previous.last_out_packets,
+            inbound_received=self.in_packets - self._in_packets_at_last_report,
+        )
+        self._in_packets_at_last_report = self.in_packets
+        self.verdicts.append(verdict)
+        return verdict
+
+    @property
+    def healthy(self) -> bool:
+        """True while recent intervals stay under the loss threshold."""
+        if not self.verdicts:
+            return True
+        last = self.verdicts[-1]
+        return (
+            last.outbound_loss <= self.quality_threshold
+            and last.inbound_loss <= self.quality_threshold
+        )

@@ -1,0 +1,55 @@
+"""Magic-number management and looped-link detection (RFC 1661 §6.4).
+
+Each endpoint picks a random 32-bit magic number.  If a received
+Configure-Request (or Echo-Request) carries *our own* magic number,
+the link is very probably looped back on itself — a real operational
+condition on SONET links, where loopbacks are a standard maintenance
+action the Protocol OAM must detect and report.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["MagicNumberTracker"]
+
+
+class MagicNumberTracker:
+    """Holds the local magic number and scores loopback evidence."""
+
+    #: Consecutive own-magic sightings before declaring a loop.
+    LOOP_THRESHOLD = 3
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = make_rng(seed)
+        self.local_magic = self._fresh_magic()
+        self.loop_evidence = 0
+        self.loops_detected = 0
+
+    def _fresh_magic(self) -> int:
+        # Zero is reserved ("no magic"), so draw from [1, 2**32).
+        return int(self._rng.integers(1, 1 << 32))
+
+    def renumber(self) -> int:
+        """Pick a fresh local magic (after a collision nak)."""
+        self.local_magic = self._fresh_magic()
+        return self.local_magic
+
+    def observe_peer_magic(self, magic: int) -> bool:
+        """Record a peer-supplied magic; True if it matches our own.
+
+        A match is evidence of loopback; after ``LOOP_THRESHOLD``
+        consecutive matches :attr:`looped` latches.
+        """
+        if magic == self.local_magic:
+            self.loop_evidence += 1
+            if self.loop_evidence == self.LOOP_THRESHOLD:
+                self.loops_detected += 1
+            return True
+        self.loop_evidence = 0
+        return False
+
+    @property
+    def looped(self) -> bool:
+        """Whether loopback has been declared on current evidence."""
+        return self.loop_evidence >= self.LOOP_THRESHOLD

@@ -1,0 +1,40 @@
+"""Network Control Protocol base (RFC 1661 section 2, third bullet).
+
+"PPP is designed to allow the simultaneous use of multiple
+network-layer protocols" — each network layer gets an NCP that reuses
+the same negotiation automaton as LCP but is only allowed to run once
+the link has reached the Network phase.  :class:`NcpBase` adds the
+bookkeeping shared by concrete NCPs (:class:`~repro.ppp.ipcp.Ipcp`
+here; others plug in the same way).
+"""
+
+from __future__ import annotations
+
+from repro.ppp.control import ControlProtocol
+
+__all__ = ["NcpBase"]
+
+
+class NcpBase(ControlProtocol):
+    """A control protocol gated behind LCP's this-layer-up.
+
+    The session layer calls :meth:`lower_layer_up` when LCP opens and
+    :meth:`lower_layer_down` when it closes; the NCP's own FSM then
+    negotiates its network-layer parameters.
+    """
+
+    #: PPP protocol number of the network-layer data this NCP enables,
+    #: e.g. IPCP (0x8021) enables IPv4 (0x0021).
+    data_protocol_number: int = 0
+
+    def lower_layer_up(self) -> None:
+        """LCP reached Opened: this NCP's lower layer is now up."""
+        self.fsm.up()
+
+    def lower_layer_down(self) -> None:
+        """LCP left Opened: bring the NCP down with it."""
+        self.fsm.down()
+
+    def network_ready(self) -> bool:
+        """Whether datagrams of :attr:`data_protocol_number` may flow."""
+        return self.layer_up

@@ -1,0 +1,166 @@
+"""Configuration-option TLVs (RFC 1661 section 6 framing).
+
+Every LCP/NCP Configure packet body is a list of
+``type(1) length(1) data(length-2)`` options.  :class:`ConfigOption`
+is the generic TLV; the typed helpers encode the specific options the
+library negotiates:
+
+=====  ======================  ======================================
+type   LCP option              relevance to the paper
+=====  ======================  ======================================
+1      MRU                     payload "variable up to a negotiated
+                               maximum ... default 1500"
+2      ACCM                    async links only; 0 on SONET
+3      Authentication-Protocol PAP/CHAP selection
+5      Magic-Number            loopback detection
+7      PFC                     protocol field "may be negotiated down
+                               to 1 byte using LCP"
+8      ACFC                    header compression
+9      FCS-Alternatives        16- vs 32-bit CRC programmability
+=====  ======================  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "ConfigOption",
+    "pack_options",
+    "unpack_options",
+    "OPT_MRU",
+    "OPT_ACCM",
+    "OPT_AUTH_PROTOCOL",
+    "OPT_QUALITY_PROTOCOL",
+    "OPT_MAGIC_NUMBER",
+    "OPT_PFC",
+    "OPT_ACFC",
+    "OPT_FCS_ALTERNATIVES",
+    "IPCP_OPT_IP_ADDRESS",
+    "FCS_NONE",
+    "FCS_16",
+    "FCS_32",
+    "mru_option",
+    "accm_option",
+    "magic_number_option",
+    "pfc_option",
+    "acfc_option",
+    "fcs_alternatives_option",
+    "ip_address_option",
+]
+
+# LCP option types (RFC 1661 / RFC 1570).
+OPT_MRU = 1
+OPT_ACCM = 2
+OPT_AUTH_PROTOCOL = 3
+OPT_QUALITY_PROTOCOL = 4
+OPT_MAGIC_NUMBER = 5
+OPT_PFC = 7
+OPT_ACFC = 8
+OPT_FCS_ALTERNATIVES = 9
+
+# IPCP option types (RFC 1332).
+IPCP_OPT_IP_ADDRESS = 3
+
+# FCS-Alternatives bit flags (RFC 1570 section 2.1).
+FCS_NONE = 0x01
+FCS_16 = 0x02
+FCS_32 = 0x04
+
+
+@dataclass(frozen=True)
+class ConfigOption:
+    """One TLV: option ``type`` and raw ``data`` (without type/length)."""
+
+    type: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.type <= 0xFF:
+            raise ValueError(f"option type out of range: {self.type}")
+        if len(self.data) > 0xFD:
+            raise ValueError("option data too long for one-octet length field")
+
+    def encode(self) -> bytes:
+        return bytes([self.type, len(self.data) + 2]) + self.data
+
+    def value_uint(self) -> int:
+        """Interpret ``data`` as a big-endian unsigned integer."""
+        return int.from_bytes(self.data, "big")
+
+
+def pack_options(options: List[ConfigOption]) -> bytes:
+    """Serialise a TLV list for a Configure packet body."""
+    return b"".join(opt.encode() for opt in options)
+
+
+def unpack_options(body: bytes) -> List[ConfigOption]:
+    """Parse a Configure packet body into TLVs.
+
+    Raises :class:`~repro.errors.ProtocolError` on malformed lengths —
+    the condition that triggers a Code-Reject in a strict peer.
+    """
+    options: List[ConfigOption] = []
+    offset = 0
+    while offset < len(body):
+        if offset + 2 > len(body):
+            raise ProtocolError("truncated option header")
+        opt_type, opt_len = body[offset], body[offset + 1]
+        if opt_len < 2 or offset + opt_len > len(body):
+            raise ProtocolError(
+                f"option type {opt_type} has invalid length {opt_len} at offset {offset}"
+            )
+        options.append(ConfigOption(opt_type, body[offset + 2 : offset + opt_len]))
+        offset += opt_len
+    return options
+
+
+# ------------------------------------------------------------ typed helpers
+def mru_option(mru: int) -> ConfigOption:
+    """Maximum-Receive-Unit (LCP type 1)."""
+    if not 0 <= mru <= 0xFFFF:
+        raise ValueError(f"MRU out of range: {mru}")
+    return ConfigOption(OPT_MRU, mru.to_bytes(2, "big"))
+
+
+def accm_option(mask: int) -> ConfigOption:
+    """Async-Control-Character-Map (LCP type 2)."""
+    if mask & ~0xFFFFFFFF:
+        raise ValueError(f"ACCM mask out of range: 0x{mask:X}")
+    return ConfigOption(OPT_ACCM, mask.to_bytes(4, "big"))
+
+
+def magic_number_option(magic: int) -> ConfigOption:
+    """Magic-Number (LCP type 5) for loopback detection."""
+    if magic & ~0xFFFFFFFF:
+        raise ValueError(f"magic number out of range: 0x{magic:X}")
+    return ConfigOption(OPT_MAGIC_NUMBER, magic.to_bytes(4, "big"))
+
+
+def pfc_option() -> ConfigOption:
+    """Protocol-Field-Compression (LCP type 7; boolean, no data)."""
+    return ConfigOption(OPT_PFC)
+
+
+def acfc_option() -> ConfigOption:
+    """Address-and-Control-Field-Compression (LCP type 8)."""
+    return ConfigOption(OPT_ACFC)
+
+
+def fcs_alternatives_option(flags: int) -> ConfigOption:
+    """FCS-Alternatives (RFC 1570, LCP type 9): OR of FCS_NONE/16/32."""
+    if flags & ~(FCS_NONE | FCS_16 | FCS_32):
+        raise ValueError(f"unknown FCS-Alternatives flags 0x{flags:X}")
+    if not flags:
+        raise ValueError("FCS-Alternatives needs at least one flag")
+    return ConfigOption(OPT_FCS_ALTERNATIVES, bytes([flags]))
+
+
+def ip_address_option(address: int) -> ConfigOption:
+    """IP-Address (IPCP type 3); ``address`` is a 32-bit host integer."""
+    if address & ~0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: 0x{address:X}")
+    return ConfigOption(IPCP_OPT_IP_ADDRESS, address.to_bytes(4, "big"))

@@ -1,0 +1,169 @@
+"""PAP — the Password Authentication Protocol (RFC 1334 section 2).
+
+Fills in the RFC 1661 *Authenticate* phase between Establish and
+Network: after LCP opens with an Authentication-Protocol option
+(0xC023), the authenticatee repeatedly sends Authenticate-Request
+(peer-id + password) until the authenticator answers Ack or Nak.
+
+PAP is deliberately simple (plaintext), which is exactly why it fits a
+hardware-offload line card's control plane; the session layer gates
+the NCPs on its outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.ppp.protocol_numbers import PROTO_PAP
+
+__all__ = ["PapCode", "PapAuthenticator", "PapClient", "encode_auth_request"]
+
+
+class PapCode(enum.IntEnum):
+    """RFC 1334 PAP packet codes."""
+
+    AUTHENTICATE_REQUEST = 1
+    AUTHENTICATE_ACK = 2
+    AUTHENTICATE_NAK = 3
+
+
+def _packet(code: int, identifier: int, data: bytes) -> bytes:
+    length = 4 + len(data)
+    return bytes([code, identifier]) + length.to_bytes(2, "big") + data
+
+
+def encode_auth_request(identifier: int, peer_id: bytes, password: bytes) -> bytes:
+    """Build an Authenticate-Request packet."""
+    if len(peer_id) > 0xFF or len(password) > 0xFF:
+        raise ValueError("peer-id and password are length-prefixed octets")
+    body = bytes([len(peer_id)]) + peer_id + bytes([len(password)]) + password
+    return _packet(PapCode.AUTHENTICATE_REQUEST, identifier, body)
+
+
+def _decode_request(data: bytes) -> Tuple[bytes, bytes]:
+    if not data:
+        raise ProtocolError("empty Authenticate-Request body")
+    id_len = data[0]
+    if len(data) < 1 + id_len + 1:
+        raise ProtocolError("truncated Authenticate-Request")
+    peer_id = data[1 : 1 + id_len]
+    pw_len = data[1 + id_len]
+    password = data[2 + id_len : 2 + id_len + pw_len]
+    if len(password) != pw_len:
+        raise ProtocolError("truncated password field")
+    return peer_id, password
+
+
+def _message_body(text: bytes) -> bytes:
+    return bytes([len(text)]) + text
+
+
+class PapAuthenticator:
+    """The server side: validates requests against a credential table."""
+
+    protocol_number = PROTO_PAP
+
+    def __init__(self, credentials: Dict[bytes, bytes], *, max_failures: int = 3) -> None:
+        self.credentials = dict(credentials)
+        self.max_failures = max_failures
+        self.outbox: Deque[bytes] = deque()
+        self.authenticated: Optional[bytes] = None   # peer-id on success
+        self.failures = 0
+
+    @property
+    def done(self) -> bool:
+        return self.authenticated is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.failures >= self.max_failures
+
+    def start(self) -> None:
+        """PAP authenticators are passive: the peer sends the request."""
+
+    def tick(self) -> None:
+        """Nothing to retransmit on the authenticator side."""
+
+    def receive_packet(self, raw: bytes) -> None:
+        if len(raw) < 4 or raw[0] != PapCode.AUTHENTICATE_REQUEST:
+            return  # authenticators ignore ack/nak
+        identifier = raw[1]
+        length = int.from_bytes(raw[2:4], "big")
+        peer_id, password = _decode_request(raw[4:length])
+        if self.credentials.get(peer_id) == password:
+            self.authenticated = peer_id
+            self.outbox.append(
+                _packet(PapCode.AUTHENTICATE_ACK, identifier, _message_body(b"welcome"))
+            )
+        else:
+            self.failures += 1
+            self.outbox.append(
+                _packet(PapCode.AUTHENTICATE_NAK, identifier, _message_body(b"denied"))
+            )
+
+    def drain_outbox(self) -> List[bytes]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+
+class PapClient:
+    """The authenticatee: sends requests until acked (or gives up)."""
+
+    protocol_number = PROTO_PAP
+
+    def __init__(
+        self,
+        peer_id: bytes,
+        password: bytes,
+        *,
+        max_retries: int = 5,
+    ) -> None:
+        self.peer_id = peer_id
+        self.password = password
+        self.max_retries = max_retries
+        self.outbox: Deque[bytes] = deque()
+        self._identifier = 0
+        self._attempts = 0
+        self.acked = False
+        self.naked = False
+
+    @property
+    def done(self) -> bool:
+        return self.acked
+
+    @property
+    def failed(self) -> bool:
+        return self.naked or self._attempts > self.max_retries
+
+    def start(self) -> None:
+        """Send the first Authenticate-Request (LCP just opened)."""
+        self._send_request()
+
+    def _send_request(self) -> None:
+        self._attempts += 1
+        self._identifier = (self._identifier + 1) & 0xFF
+        self.outbox.append(
+            encode_auth_request(self._identifier, self.peer_id, self.password)
+        )
+
+    def tick(self) -> None:
+        """Retransmit on timeout until resolved."""
+        if not self.acked and not self.failed:
+            self._send_request()
+
+    def receive_packet(self, raw: bytes) -> None:
+        if len(raw) < 4 or raw[1] != self._identifier:
+            return
+        if raw[0] == PapCode.AUTHENTICATE_ACK:
+            self.acked = True
+        elif raw[0] == PapCode.AUTHENTICATE_NAK:
+            self.naked = True
+
+    def drain_outbox(self) -> List[bytes]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out

@@ -1,0 +1,87 @@
+"""PPP protocol-field values (RFC 1661 section 2, assigned numbers).
+
+The paper (section 2): "Protocols starting with a 0 bit are network
+layer protocols such as IP or IPX, those starting with a 1 bit are
+used to negotiate other protocols including LCP and NCP."  In the
+assigned-numbers encoding that bit is the top bit of the 16-bit value:
+``0x0xxx/0x8xxx`` ranges carry/configure network-layer data while
+``0xCxxx`` is link-layer control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "PROTO_IPV4",
+    "PROTO_IPV6",
+    "PROTO_IPX",
+    "PROTO_MPLS_UNICAST",
+    "PROTO_IPCP",
+    "PROTO_IPV6CP",
+    "PROTO_LCP",
+    "PROTO_PAP",
+    "PROTO_CHAP",
+    "PROTO_LQR",
+    "protocol_name",
+    "is_valid_protocol",
+    "is_network_layer",
+    "is_control_protocol",
+    "pfc_compressible",
+]
+
+# -- network-layer protocols (data) ----------------------------------------
+PROTO_IPV4 = 0x0021
+PROTO_IPX = 0x002B
+PROTO_IPV6 = 0x0057
+PROTO_MPLS_UNICAST = 0x0281
+
+# -- network control protocols ----------------------------------------------
+PROTO_IPCP = 0x8021
+PROTO_IPV6CP = 0x8057
+
+# -- link-layer protocols -----------------------------------------------------
+PROTO_LCP = 0xC021
+PROTO_PAP = 0xC023
+PROTO_LQR = 0xC025
+PROTO_CHAP = 0xC223
+
+_NAMES: Dict[int, str] = {
+    PROTO_IPV4: "IPv4",
+    PROTO_IPX: "IPX",
+    PROTO_IPV6: "IPv6",
+    PROTO_MPLS_UNICAST: "MPLS-unicast",
+    PROTO_IPCP: "IPCP",
+    PROTO_IPV6CP: "IPV6CP",
+    PROTO_LCP: "LCP",
+    PROTO_PAP: "PAP",
+    PROTO_LQR: "LQR",
+    PROTO_CHAP: "CHAP",
+}
+
+
+def protocol_name(protocol: int) -> str:
+    """Human-readable name, or ``"unknown-0xNNNN"``."""
+    return _NAMES.get(protocol, f"unknown-0x{protocol:04X}")
+
+
+def is_valid_protocol(protocol: int) -> bool:
+    """RFC 1661 well-formedness: LSB of low octet 1, LSB of high octet 0."""
+    if not 0 <= protocol <= 0xFFFF:
+        return False
+    return bool(protocol & 0x0001) and not (protocol & 0x0100)
+
+
+def is_network_layer(protocol: int) -> bool:
+    """True for protocols that carry network-layer datagrams (0x0xxx-0x3xxx)."""
+    return is_valid_protocol(protocol) and protocol < 0x4000
+
+
+def is_control_protocol(protocol: int) -> bool:
+    """True for LCP/NCP-style negotiation protocols (0x8xxx-0xFxxx)."""
+    return is_valid_protocol(protocol) and protocol >= 0x8000
+
+
+def pfc_compressible(protocol: int) -> bool:
+    """Whether the protocol field may shrink to one octet under PFC."""
+    return is_valid_protocol(protocol) and protocol <= 0x00FF

@@ -1,0 +1,237 @@
+"""PPP Reliable Transmission — numbered mode (RFC 1663, paper ref [7]).
+
+Paper section 2, on the control field: "PPP may be configured via the
+LCP to use sequence numbers and acknowledgements for reliable data
+transmission.  This is of particular use in noisy environments such as
+wireless networks, but will be disabled by default."
+
+This module implements that numbered mode: LAPB-style modulo-8
+sequence numbering in the HDLC control field with a go-back-N
+retransmission scheme.
+
+Control-field encodings (ISO 7809 / LAPB, as RFC 1663 adopts):
+
+* **I-frame** (information): ``N(R)<<5 | P<<4 | N(S)<<1 | 0`` — LSB 0.
+* **RR** (receive ready):    ``N(R)<<5 | P/F<<4 | 0x01``.
+* **REJ** (reject):          ``N(R)<<5 | P/F<<4 | 0x09``.
+
+Time is logical, as everywhere in the library: :meth:`NumberedModeLink.tick`
+models one retransmission-timer period.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = ["FrameType", "NumberedModeLink", "decode_control", "encode_i", "encode_s"]
+
+MODULUS = 8
+
+#: Supervisory-frame low nibbles.
+_S_RR = 0x01
+_S_REJ = 0x09
+
+
+class FrameType(enum.Enum):
+    """Decoded control-field kind."""
+
+    I = "I"      # noqa: E741 - the standard name
+    RR = "RR"
+    REJ = "REJ"
+
+
+def encode_i(ns: int, nr: int, *, poll: bool = False) -> int:
+    """Control octet of an I-frame carrying N(S), acknowledging N(R)."""
+    if not 0 <= ns < MODULUS or not 0 <= nr < MODULUS:
+        raise ValueError("sequence numbers are modulo 8")
+    return (nr << 5) | (int(poll) << 4) | (ns << 1)
+
+
+def encode_s(kind: FrameType, nr: int, *, final: bool = False) -> int:
+    """Control octet of a supervisory frame (RR or REJ)."""
+    if not 0 <= nr < MODULUS:
+        raise ValueError("sequence numbers are modulo 8")
+    low = {FrameType.RR: _S_RR, FrameType.REJ: _S_REJ}[kind]
+    return (nr << 5) | (int(final) << 4) | low
+
+
+def decode_control(octet: int) -> Tuple[FrameType, Optional[int], int, bool]:
+    """Decode a control octet to ``(type, N(S) or None, N(R), P/F)``."""
+    if not 0 <= octet <= 0xFF:
+        raise ValueError("control field is one octet in modulo-8 mode")
+    pf = bool(octet & 0x10)
+    nr = octet >> 5
+    if not octet & 0x01:                      # I-frame
+        return FrameType.I, (octet >> 1) & 0x07, nr, pf
+    low = octet & 0x0F
+    if low == _S_RR:
+        return FrameType.RR, None, nr, pf
+    if low == _S_REJ:
+        return FrameType.REJ, None, nr, pf
+    raise ProtocolError(f"unsupported numbered-mode control octet 0x{octet:02X}")
+
+
+@dataclass
+class LinkStats:
+    """Reliability-layer counters."""
+
+    i_sent: int = 0
+    i_resent: int = 0
+    i_received: int = 0
+    out_of_sequence: int = 0
+    rej_sent: int = 0
+    rej_received: int = 0
+    rr_sent: int = 0
+    timeouts: int = 0
+
+
+class NumberedModeLink:
+    """One end of a numbered-mode (reliable) PPP link.
+
+    The link exchanges ``(control_octet, payload)`` frames — on the
+    wire these occupy the HDLC control field and information field;
+    the surrounding flag/address/FCS handling stays with
+    :mod:`repro.hdlc` (a frame lost to FCS failure simply never
+    reaches this layer, which is exactly the loss model go-back-N
+    recovers from).
+
+    Parameters
+    ----------
+    window:
+        Maximum unacknowledged I-frames in flight, 1..7.
+    timer_limit:
+        Ticks an unacknowledged frame waits before go-back-N fires.
+    """
+
+    def __init__(self, name: str = "link", *, window: int = 7, timer_limit: int = 3) -> None:
+        if not 1 <= window < MODULUS:
+            raise ValueError("window must be 1..7 in modulo-8 mode")
+        self.name = name
+        self.window = window
+        self.timer_limit = timer_limit
+        self.vs = 0                 # next N(S) to send
+        self.vr = 0                 # next N(S) expected
+        self.va = 0                 # oldest unacknowledged N(S)
+        self._sendq: Deque[bytes] = deque()           # not yet sent
+        self._inflight: Dict[int, bytes] = {}         # ns -> payload
+        self._inflight_order: Deque[int] = deque()
+        self.outbox: Deque[Tuple[int, bytes]] = deque()
+        self.delivered: List[bytes] = []
+        self._rej_outstanding = False
+        self._ack_owed = False
+        self._timer = 0
+        self.stats = LinkStats()
+
+    # ------------------------------------------------------------ user side
+    def send(self, payload: bytes) -> None:
+        """Queue one datagram for reliable delivery."""
+        self._sendq.append(payload)
+        self._pump_window()
+
+    def _outstanding(self) -> int:
+        return (self.vs - self.va) % MODULUS
+
+    def _pump_window(self) -> None:
+        while self._sendq and self._outstanding() < self.window:
+            payload = self._sendq.popleft()
+            control = encode_i(self.vs, self.vr)
+            self._inflight[self.vs] = payload
+            self._inflight_order.append(self.vs)
+            self.outbox.append((control, payload))
+            self.stats.i_sent += 1
+            self._ack_owed = False            # I-frames piggyback N(R)
+            self.vs = (self.vs + 1) % MODULUS
+        if self._outstanding():
+            self._timer = max(self._timer, 1)
+
+    # ------------------------------------------------------------ wire side
+    def receive(self, control: int, payload: bytes = b"") -> None:
+        """Process one frame that arrived intact."""
+        kind, ns, nr, _pf = decode_control(control)
+        self._apply_ack(nr)
+        if kind is FrameType.I:
+            self._receive_i(ns, payload)
+        elif kind is FrameType.REJ:
+            self.stats.rej_received += 1
+            self._go_back_n(nr)
+        # RR carries only the ack, already applied.
+
+    def _receive_i(self, ns: int, payload: bytes) -> None:
+        if ns == self.vr:
+            self.stats.i_received += 1
+            self.delivered.append(payload)
+            self.vr = (self.vr + 1) % MODULUS
+            self._rej_outstanding = False
+            self._ack_owed = True
+        else:
+            # Out of sequence: a frame was lost. Send (one) REJ.
+            self.stats.out_of_sequence += 1
+            if not self._rej_outstanding:
+                self.outbox.append((encode_s(FrameType.REJ, self.vr), b""))
+                self.stats.rej_sent += 1
+                self._rej_outstanding = True
+
+    def _apply_ack(self, nr: int) -> None:
+        """Release every in-flight frame the peer's N(R) acknowledges."""
+        while self._inflight_order and self._in_ack_range(self._inflight_order[0], nr):
+            ns = self._inflight_order.popleft()
+            del self._inflight[ns]
+            self.va = (ns + 1) % MODULUS
+        if not self._inflight_order:
+            self._timer = 0
+        else:
+            self._timer = max(self._timer, 1)
+        self._pump_window()
+
+    def _in_ack_range(self, ns: int, nr: int) -> bool:
+        """Whether N(R)=nr acknowledges outstanding frame ns."""
+        # ns is acked iff it lies in [va, nr) in modulo order.
+        span = (nr - self.va) % MODULUS
+        offset = (ns - self.va) % MODULUS
+        return offset < span
+
+    def _go_back_n(self, nr: int) -> None:
+        """Retransmit everything from ``nr`` onwards, in order."""
+        for ns in list(self._inflight_order):
+            if self._in_ack_range(ns, nr):
+                continue  # acked by the REJ's N(R); _apply_ack handled it
+            control = encode_i(ns, self.vr)
+            self.outbox.append((control, self._inflight[ns]))
+            self.stats.i_resent += 1
+        self._timer = max(self._timer, 1)
+
+    # --------------------------------------------------------------- timers
+    def tick(self) -> None:
+        """One retransmission-timer period of logical time."""
+        if not self._inflight_order:
+            self._flush_ack()
+            return
+        self._timer += 1
+        if self._timer > self.timer_limit:
+            self.stats.timeouts += 1
+            self._timer = 1
+            self._go_back_n(self.va)
+        self._flush_ack()
+
+    def _flush_ack(self) -> None:
+        """Send a standalone RR if an ack is owed and nothing piggybacked."""
+        if self._ack_owed:
+            self.outbox.append((encode_s(FrameType.RR, self.vr), b""))
+            self.stats.rr_sent += 1
+            self._ack_owed = False
+
+    def drain_outbox(self) -> List[Tuple[int, bytes]]:
+        """Remove and return all queued (control, payload) frames."""
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+    @property
+    def all_acknowledged(self) -> bool:
+        """No frames queued or awaiting acknowledgement."""
+        return not self._sendq and not self._inflight_order

@@ -1,0 +1,107 @@
+"""Modules and channels — the structural vocabulary of the kernel."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import BackpressureOverflow
+
+__all__ = ["Channel", "Module"]
+
+
+class Channel:
+    """A registered link of fixed capacity between two modules.
+
+    ``capacity=1`` models a single pipeline register; larger values
+    model a FIFO of that depth.  :meth:`push` into a full channel
+    raises :class:`~repro.errors.BackpressureOverflow` — modules must
+    consult :attr:`can_push` first, which is precisely the ready/valid
+    discipline of the hardware.
+
+    Occupancy statistics are tracked so benchmarks can verify the
+    paper's "extremely low resynchronisation buffer" claim.
+    """
+
+    def __init__(self, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------- handshake
+    @property
+    def can_push(self) -> bool:
+        """Ready: space available this cycle."""
+        return len(self._queue) < self.capacity
+
+    @property
+    def can_pop(self) -> bool:
+        """Valid: data available this cycle."""
+        return bool(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ data
+    def push(self, item: Any) -> None:
+        if not self.can_push:
+            raise BackpressureOverflow(
+                f"push into full channel {self.name!r} (capacity {self.capacity})"
+            )
+        self._queue.append(item)
+        self.pushes += 1
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    def pop(self) -> Any:
+        if not self._queue:
+            raise BackpressureOverflow(f"pop from empty channel {self.name!r}")
+        self.pops += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        if not self._queue:
+            raise BackpressureOverflow(f"peek at empty channel {self.name!r}")
+        return self._queue[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.name!r}, {len(self._queue)}/{self.capacity})"
+
+
+class Module:
+    """Base class for synchronous modules.
+
+    Subclasses implement :meth:`clock`, which is invoked once per
+    simulated cycle.  Within ``clock`` a module may pop from its input
+    channels and push to its output channels, guarding every push with
+    ``can_push`` (stalling otherwise).  The simulator clocks modules
+    sink-first, so checking ``can_push`` *after* downstream modules
+    have run models a registered pipeline advancing in lock-step.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cycles = 0
+        self.stalled_cycles = 0
+
+    def clock(self) -> None:
+        """One rising clock edge (subclass hook)."""
+        raise NotImplementedError
+
+    def on_cycle(self) -> None:
+        """Called by the simulator; wraps :meth:`clock` with counters."""
+        self.cycles += 1
+        self.clock()
+
+    def note_stall(self) -> None:
+        """Record one cycle lost to downstream backpressure."""
+        self.stalled_cycles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,234 @@
+"""Stream beats, sources and sinks for word-oriented datapaths.
+
+A :class:`WordBeat` is what travels down the P5 datapath each clock:
+up to ``width//8`` byte lanes, each with a valid bit, plus
+start-of-frame / end-of-frame marks.  Partially-valid beats occur at
+frame tails and — centrally to the paper — *inside* the Escape Detect
+unit, where deleting escape octets opens "bubbles" in the word
+(paper Figure 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rtl.module import Channel, Module
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = [
+    "WordBeat",
+    "beats_from_bytes",
+    "bytes_from_beats",
+    "StallPattern",
+    "StreamSource",
+    "StreamSink",
+]
+
+
+@dataclass(frozen=True)
+class WordBeat:
+    """One datapath word in flight.
+
+    Attributes
+    ----------
+    lanes:
+        Byte values, lane 0 first on the wire.  Invalid lanes carry 0.
+    valid:
+        Per-lane valid bits; ``valid[i]`` qualifies ``lanes[i]``.
+    sof / eof:
+        Frame delimiting marks (the in-band equivalent of the flag
+        octets once the framing layer has been processed).
+    """
+
+    lanes: Tuple[int, ...]
+    valid: Tuple[bool, ...]
+    sof: bool = False
+    eof: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.lanes) != len(self.valid):
+            raise ValueError("lanes and valid must have equal length")
+        for lane, ok in zip(self.lanes, self.valid):
+            if ok and not 0 <= lane <= 0xFF:
+                raise ValueError(f"lane value out of range: {lane}")
+
+    @property
+    def width_bytes(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def n_valid(self) -> int:
+        return sum(self.valid)
+
+    def payload(self) -> bytes:
+        """The valid octets of this beat, in lane order."""
+        return bytes(b for b, ok in zip(self.lanes, self.valid) if ok)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        width_bytes: int,
+        *,
+        sof: bool = False,
+        eof: bool = False,
+    ) -> "WordBeat":
+        """Left-aligned beat from 1..width_bytes octets."""
+        if not 0 < len(data) <= width_bytes:
+            raise ValueError(f"beat must carry 1..{width_bytes} octets, got {len(data)}")
+        lanes = tuple(data) + (0,) * (width_bytes - len(data))
+        valid = (True,) * len(data) + (False,) * (width_bytes - len(data))
+        return cls(lanes, valid, sof=sof, eof=eof)
+
+    def render(self) -> str:
+        """Human-readable lane dump for timing diagrams, e.g. ``7E 12 -- 45``."""
+        cells = [
+            f"{b:02X}" if ok else "--" for b, ok in zip(self.lanes, self.valid)
+        ]
+        marks = ("S" if self.sof else "") + ("E" if self.eof else "")
+        return " ".join(cells) + (f" [{marks}]" if marks else "")
+
+
+def beats_from_bytes(data: bytes, width_bytes: int, *, frame_marks: bool = True) -> List[WordBeat]:
+    """Chop a frame's octets into full-width beats (ragged tail allowed)."""
+    beats: List[WordBeat] = []
+    total = len(data)
+    if total == 0:
+        return beats
+    for off in range(0, total, width_bytes):
+        chunk = data[off : off + width_bytes]
+        beats.append(
+            WordBeat.from_bytes(
+                chunk,
+                width_bytes,
+                sof=frame_marks and off == 0,
+                eof=frame_marks and off + width_bytes >= total,
+            )
+        )
+    return beats
+
+
+def bytes_from_beats(beats: Iterable[WordBeat]) -> bytes:
+    """Concatenate the valid octets of a beat sequence."""
+    out = bytearray()
+    for beat in beats:
+        out += beat.payload()
+    return bytes(out)
+
+
+class StallPattern:
+    """A deterministic or random schedule of stall cycles.
+
+    Used to model a slow producer (PHY underrun) or a slow consumer
+    (memory-bus contention): ``active(cycle)`` is True on cycles the
+    party refuses to move data.
+    """
+
+    def __init__(
+        self,
+        *,
+        every: Optional[int] = None,
+        probability: float = 0.0,
+        seed: SeedLike = None,
+        burst: int = 1,
+    ) -> None:
+        if every is not None and every < 1:
+            raise ValueError("'every' must be >= 1")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.every = every
+        self.probability = probability
+        self.burst = burst
+        self._rng = make_rng(seed)
+        self._burst_left = 0
+
+    @classmethod
+    def never(cls) -> "StallPattern":
+        """No stalls: full line-rate."""
+        return cls()
+
+    def active(self, cycle: int) -> bool:
+        """Whether to stall on this cycle."""
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return True
+        stall = False
+        if self.every is not None and cycle % self.every == self.every - 1:
+            stall = True
+        if self.probability > 0.0 and self._rng.random() < self.probability:
+            stall = True
+        if stall and self.burst > 1:
+            self._burst_left = self.burst - 1
+        return stall
+
+
+class StreamSource(Module):
+    """Feeds a list of beats into a channel, honouring backpressure."""
+
+    def __init__(
+        self,
+        name: str,
+        out: Channel,
+        beats: Sequence[WordBeat],
+        *,
+        stall: Optional[StallPattern] = None,
+    ) -> None:
+        super().__init__(name)
+        self.out = out
+        self._beats: Iterator[WordBeat] = iter(list(beats))
+        self._pending: Optional[WordBeat] = None
+        self.stall = stall or StallPattern.never()
+        self.sent = 0
+        self.done = False
+
+    def extend(self, beats: Sequence[WordBeat]) -> None:
+        """Append more traffic (chains iterators; cheap)."""
+        self._beats = itertools.chain(self._beats, list(beats))
+        self.done = False
+
+    def clock(self) -> None:
+        if self.stall.active(self.cycles):
+            return
+        if self._pending is None:
+            self._pending = next(self._beats, None)
+            if self._pending is None:
+                self.done = True
+                return
+        if self.out.can_push:
+            self.out.push(self._pending)
+            self.sent += 1
+            self._pending = None
+        else:
+            self.note_stall()
+
+
+class StreamSink(Module):
+    """Drains a channel into a list, optionally stalling (slow consumer)."""
+
+    def __init__(
+        self,
+        name: str,
+        inp: Channel,
+        *,
+        stall: Optional[StallPattern] = None,
+    ) -> None:
+        super().__init__(name)
+        self.inp = inp
+        self.stall = stall or StallPattern.never()
+        self.beats: List[WordBeat] = []
+        self.first_arrival_cycle: Optional[int] = None
+
+    def clock(self) -> None:
+        if self.stall.active(self.cycles):
+            return
+        if self.inp.can_pop:
+            beat = self.inp.pop()
+            if self.first_arrival_cycle is None:
+                self.first_arrival_cycle = self.cycles
+            self.beats.append(beat)
+
+    def data(self) -> bytes:
+        """All valid octets received so far."""
+        return bytes_from_beats(self.beats)

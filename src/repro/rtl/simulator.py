@@ -1,0 +1,91 @@
+"""The clocked simulator: sink-first evaluation of synchronous modules."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.rtl.module import Channel, Module
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Steps a set of modules one clock cycle at a time.
+
+    Parameters
+    ----------
+    modules:
+        In **source-to-sink** order; the simulator clocks them in
+        reverse.  Clocking the sink first frees its input register, so
+        an unstalled N-stage pipeline advances every stage in the same
+        cycle — the behaviour of real flip-flop pipelines.
+    channels:
+        Optional channel list for tracing/statistics; purely
+        observational.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[Module],
+        channels: Sequence[Channel] = (),
+        *,
+        max_cycles: int = 10_000_000,
+    ) -> None:
+        if not modules:
+            raise ValueError("simulator needs at least one module")
+        self.modules: List[Module] = list(modules)
+        self.channels: List[Channel] = list(channels)
+        self.cycle = 0
+        self.max_cycles = max_cycles
+        self._observers: List[Callable[[int], None]] = []
+
+    def add_observer(self, callback: Callable[[int], None]) -> None:
+        """Register a per-cycle callback (called after each step)."""
+        self._observers.append(callback)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles``."""
+        for _ in range(cycles):
+            for module in reversed(self.modules):
+                module.on_cycle()
+            self.cycle += 1
+            for callback in self._observers:
+                callback(self.cycle)
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        *,
+        timeout: Optional[int] = None,
+    ) -> int:
+        """Step until ``condition()`` is true; returns cycles elapsed.
+
+        Raises :class:`~repro.errors.SimulationError` on timeout —
+        which in the P5 tests usually means a deadlocked handshake.
+        """
+        limit = timeout if timeout is not None else self.max_cycles
+        start = self.cycle
+        while not condition():
+            if self.cycle - start >= limit:
+                raise SimulationError(
+                    f"condition not reached within {limit} cycles "
+                    f"(started at {start}, now {self.cycle})"
+                )
+            self.step()
+        return self.cycle - start
+
+    def drain(self, *, idle_cycles: int = 4, timeout: Optional[int] = None) -> int:
+        """Run until no channel holds data for ``idle_cycles`` in a row."""
+        idle = 0
+        start = self.cycle
+        limit = timeout if timeout is not None else self.max_cycles
+
+        while idle < idle_cycles:
+            if self.cycle - start >= limit:
+                raise SimulationError(f"drain did not complete within {limit} cycles")
+            busy_before = any(ch.can_pop for ch in self.channels)
+            self.step()
+            busy_after = any(ch.can_pop for ch in self.channels)
+            idle = 0 if (busy_before or busy_after) else idle + 1
+        return self.cycle - start

@@ -1,0 +1,168 @@
+"""Linear 1+1 Automatic Protection Switching (GR-253 §5.3, simplified).
+
+Real OC-48 deployments — the paper's target environment — never run a
+single unprotected fibre: the head end *bridges* the signal onto a
+working and a protection line simultaneously, and the tail end selects
+whichever is healthy, signalling its choice back through the K1/K2
+line-overhead bytes.  Failures (LOS/LOF, excessive B2 errors) trigger
+a switch within the famous "50 ms" budget — here, within one frame.
+
+The model implements the tail-end selector with:
+
+* per-line health scoring from the receive framers' OOF/LOF and B2
+  counters;
+* non-revertive switching (stay on protection after the working line
+  recovers, as 1+1 defaults to);
+* K1 request codes for the signalling state (Signal-Fail, Wait-to-
+  Restore, No-Request).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sonet.rx_framer import FramerState, SonetRxFramer
+
+__all__ = ["ApsRequest", "ProtectionSelector", "LineHealth"]
+
+
+class ApsRequest(enum.IntEnum):
+    """K1 bits 1-4 request codes (subset)."""
+
+    NO_REQUEST = 0b0000
+    WAIT_TO_RESTORE = 0b0110
+    SIGNAL_DEGRADE = 0b1010
+    SIGNAL_FAIL = 0b1100
+    FORCED_SWITCH = 0b1110
+
+
+@dataclass
+class LineHealth:
+    """Snapshot of one line's receive condition."""
+
+    name: str
+    in_frame: bool
+    oof_events: int
+    b2_errors: int
+
+    def signal_fail(self, *, prior_oof: int) -> bool:
+        """Hard failure: lost alignment, or new OOF events."""
+        return not self.in_frame or self.oof_events > prior_oof
+
+    def signal_degrade(self, *, prior_b2: int, threshold: int) -> bool:
+        """Soft failure: B2 errors accumulating past the threshold."""
+        return (self.b2_errors - prior_b2) >= threshold
+
+
+class ProtectionSelector:
+    """Tail-end 1+1 selector over a working and a protection line.
+
+    Feed both lines' bytes every frame with :meth:`receive_frame`; the
+    selector returns the payload of the currently-selected line and
+    switches lanes when the active one fails.
+
+    Parameters
+    ----------
+    working / protection:
+        The two receive framers (one per fibre).
+    degrade_threshold:
+        New B2 block errors per frame that count as signal degrade.
+    revertive:
+        Whether to switch back to working once it recovers (1+1
+        defaults to non-revertive).
+    """
+
+    def __init__(
+        self,
+        working: SonetRxFramer,
+        protection: SonetRxFramer,
+        *,
+        degrade_threshold: int = 3,
+        revertive: bool = False,
+    ) -> None:
+        self.lines = {"working": working, "protection": protection}
+        self.active = "working"
+        self.degrade_threshold = degrade_threshold
+        self.revertive = revertive
+        self.request = ApsRequest.NO_REQUEST
+        self.switch_events: List[Tuple[int, str, ApsRequest]] = []
+        self._frame_no = 0
+        self._prior = {
+            name: (line.counters.oof_events, line.counters.b2_errors)
+            for name, line in self.lines.items()
+        }
+
+    @property
+    def standby(self) -> str:
+        return "protection" if self.active == "working" else "working"
+
+    # ----------------------------------------------------------------- frames
+    def receive_frame(self, working_bytes: bytes, protection_bytes: bytes) -> bytes:
+        """Feed one frame period's bytes from both fibres.
+
+        Returns the recovered payload of the selected line (bridged
+        head end: both carry the same signal, so no data is lost by
+        switching between aligned lines).
+        """
+        self._frame_no += 1
+        payloads = {
+            "working": self.lines["working"].feed(working_bytes),
+            "protection": self.lines["protection"].feed(protection_bytes),
+        }
+        self._evaluate()
+        return payloads[self.active]
+
+    def _health(self, name: str) -> LineHealth:
+        line = self.lines[name]
+        return LineHealth(
+            name=name,
+            in_frame=line.state is FramerState.SYNC
+            or line.state is FramerState.PRESYNC,
+            oof_events=line.counters.oof_events,
+            b2_errors=line.counters.b2_errors,
+        )
+
+    def _evaluate(self) -> None:
+        active_health = self._health(self.active)
+        standby_health = self._health(self.standby)
+        prior_oof, prior_b2 = self._prior[self.active]
+        fail = active_health.signal_fail(prior_oof=prior_oof)
+        degrade = active_health.signal_degrade(
+            prior_b2=prior_b2, threshold=self.degrade_threshold
+        )
+        standby_ok = standby_health.in_frame
+        if (fail or degrade) and standby_ok:
+            self.request = (
+                ApsRequest.SIGNAL_FAIL if fail else ApsRequest.SIGNAL_DEGRADE
+            )
+            self.switch_events.append((self._frame_no, self.standby, self.request))
+            self.active = self.standby
+        elif self.revertive and self.active == "protection":
+            working_oof, _ = self._prior["working"]
+            working = self._health("working")
+            if working.in_frame and not working.signal_fail(prior_oof=working_oof):
+                self.request = ApsRequest.WAIT_TO_RESTORE
+                self.switch_events.append(
+                    (self._frame_no, "working", self.request)
+                )
+                self.active = "working"
+        else:
+            self.request = ApsRequest.NO_REQUEST
+        self._prior = {
+            name: (line.counters.oof_events, line.counters.b2_errors)
+            for name, line in self.lines.items()
+        }
+
+    # -------------------------------------------------------------- signalling
+    def k1_byte(self) -> int:
+        """The K1 byte the tail end transmits: request + channel number."""
+        channel = 1 if self.active == "protection" else 0
+        return (int(self.request) << 4) | channel
+
+    def force_switch(self) -> None:
+        """Operator-commanded switch to the standby line."""
+        self.request = ApsRequest.FORCED_SWITCH
+        self.switch_events.append((self._frame_no, self.standby, self.request))
+        self.active = self.standby

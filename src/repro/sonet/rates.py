@@ -1,0 +1,93 @@
+"""Line-rate and payload-capacity arithmetic for the STS hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sonet.constants import (
+    COLS_PER_STS1,
+    FRAMES_PER_SECOND,
+    ROWS,
+    TOH_COLS_PER_STS1,
+)
+
+__all__ = ["StsRate", "rate_for", "payload_capacity_bytes", "fixed_stuff_columns"]
+
+
+@dataclass(frozen=True)
+class StsRate:
+    """One member of the SONET hierarchy (concatenated form, STS-Nc)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("STS level must be >= 1")
+
+    @property
+    def name(self) -> str:
+        suffix = "c" if self.n > 1 else ""
+        return f"STS-{self.n}{suffix}"
+
+    @property
+    def oc_name(self) -> str:
+        return f"OC-{self.n}"
+
+    @property
+    def sdh_name(self) -> str:
+        """The SDH equivalent (STM-N/3), where defined."""
+        if self.n % 3 == 0:
+            return f"STM-{self.n // 3}"
+        return "(no SDH equivalent)"
+
+    @property
+    def columns(self) -> int:
+        return COLS_PER_STS1 * self.n
+
+    @property
+    def toh_columns(self) -> int:
+        return TOH_COLS_PER_STS1 * self.n
+
+    @property
+    def spe_columns(self) -> int:
+        """SPE width including POH and fixed stuff."""
+        return self.columns - self.toh_columns
+
+    @property
+    def line_rate_bps(self) -> float:
+        """Gross line rate: all bytes, 8000 frames/s."""
+        return self.columns * ROWS * 8 * FRAMES_PER_SECOND
+
+    @property
+    def payload_rate_bps(self) -> float:
+        """Rate available to the PPP byte stream (SPE minus POH/stuff)."""
+        return payload_capacity_bytes(self.n) * 8 * FRAMES_PER_SECOND
+
+
+def fixed_stuff_columns(n: int) -> int:
+    """Fixed-stuff columns inside an STS-Nc SPE.
+
+    Concatenated SPEs carry ``N/3 - 1`` stuff columns for N a multiple
+    of 3 (0 for STS-3c, 3 for STS-12c, 15 for STS-48c); STS-1 carries
+    none in this model (a documented simplification — the real C-3
+    mapping's two fixed columns change efficiency by <2.5 %).
+    """
+    if n >= 3 and n % 3 == 0:
+        return n // 3 - 1
+    return 0
+
+
+def payload_capacity_bytes(n: int) -> int:
+    """Payload bytes per frame: SPE minus one POH column minus stuff."""
+    rate = StsRate(n)
+    payload_cols = rate.spe_columns - 1 - fixed_stuff_columns(n)
+    return payload_cols * ROWS
+
+
+def rate_for(n: int) -> StsRate:
+    """Convenience constructor with the common levels documented.
+
+    OC-3 ~ 155.52 Mbps, OC-12 ~ 622.08 Mbps, OC-48 ~ 2.48832 Gbps —
+    the last being the paper's 2.5 Gbps target.
+    """
+    return StsRate(n)

@@ -1,0 +1,233 @@
+"""SONET receive framer: alignment hunting, OOF/LOF, overhead checks.
+
+The receiver sees an unaligned byte stream.  It hunts for the A1…A2
+framing pattern, requires two consecutive aligned frames before
+declaring sync (GR-253's m-consecutive rule), monitors framing on
+every frame thereafter (4 consecutive errored framings → out-of-frame,
+persistent OOF → loss-of-frame), descrambles, verifies B1/B2/B3
+parity, interprets the H1/H2 pointer, checks the C2 path label and
+hands the payload columns to the layer above.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sonet.constants import A1, A2, POINTER_MAX, ROWS
+from repro.sonet.framer import _bip8
+from repro.sonet.rates import StsRate, fixed_stuff_columns
+from repro.sonet.scrambler import FrameSyncScrambler
+
+__all__ = ["FramerState", "RxCounters", "SonetRxFramer"]
+
+
+class FramerState(enum.Enum):
+    """Alignment states (GR-253 simplified)."""
+
+    HUNT = "hunt"          # no alignment known
+    PRESYNC = "presync"    # candidate alignment, confirming
+    SYNC = "sync"          # in frame
+
+
+@dataclass
+class RxCounters:
+    """Receive-side SONET monitoring counters."""
+
+    frames_ok: int = 0
+    oof_events: int = 0
+    lof_events: int = 0
+    b1_errors: int = 0
+    b2_errors: int = 0
+    b3_errors: int = 0
+    pointer_invalid: int = 0
+    c2_mismatches: int = 0
+    bytes_discarded_hunting: int = 0
+
+
+class SonetRxFramer:
+    """Streaming STS-Nc receiver.
+
+    Feed arbitrary byte chunks with :meth:`feed`; extracted SPE payload
+    bytes are returned (concatenated across the frames completed by
+    the chunk).  Alignment and parity events accumulate in
+    :attr:`counters`.
+
+    Parameters
+    ----------
+    n:
+        STS level; must match the transmitter.
+    expected_c2:
+        Path signal label to verify (None disables the check).
+    descramble:
+        Must match the transmitter's ``scramble`` flag.
+    oof_threshold / lof_threshold:
+        Consecutive bad framings to declare OOF, and consecutive OOF
+        frames to escalate to LOF.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        expected_c2: Optional[int] = None,
+        descramble: bool = True,
+        oof_threshold: int = 4,
+        lof_threshold: int = 24,
+    ) -> None:
+        self.rate = StsRate(n)
+        self.n = n
+        self.expected_c2 = expected_c2
+        self.descramble = descramble
+        self.oof_threshold = oof_threshold
+        self.lof_threshold = lof_threshold
+        self._scrambler = FrameSyncScrambler()
+        self._buffer = bytearray()
+        self.state = FramerState.HUNT
+        self.counters = RxCounters()
+        self._bad_framings = 0
+        self._oof_hunt_bytes = 0      # bytes spent hunting since OOF
+        self._lof_declared = False
+        self._presync_ok = 0
+        self._prev_scrambled: Optional[np.ndarray] = None
+        self._prev_line_portion: Optional[np.ndarray] = None
+        self._prev_spe: Optional[np.ndarray] = None
+
+    # ---------------------------------------------------------------- sizes
+    @property
+    def frame_bytes(self) -> int:
+        return ROWS * self.rate.columns
+
+    def _pattern(self) -> bytes:
+        return bytes([A1] * self.n + [A2] * self.n)
+
+    # ----------------------------------------------------------------- feed
+    def feed(self, data: bytes) -> bytes:
+        """Consume a chunk of line bytes; return recovered payload."""
+        self._buffer.extend(data)
+        payload = bytearray()
+        progressed = True
+        while progressed:
+            progressed = False
+            if self.state is FramerState.HUNT:
+                progressed = self._hunt()
+            elif len(self._buffer) >= self.frame_bytes:
+                chunk = bytes(self._buffer[: self.frame_bytes])
+                del self._buffer[: self.frame_bytes]
+                payload.extend(self._process_frame(chunk))
+                progressed = True
+        return bytes(payload)
+
+    def _hunt(self) -> bool:
+        pattern = self._pattern()
+        idx = bytes(self._buffer).find(pattern)
+        if idx < 0:
+            # Keep a pattern's worth of tail in case it straddles chunks.
+            keep = len(pattern) - 1
+            dropped = max(0, len(self._buffer) - keep)
+            if dropped:
+                self.counters.bytes_discarded_hunting += dropped
+                self._note_oof_persistence(dropped)
+                del self._buffer[:dropped]
+            return False
+        self.counters.bytes_discarded_hunting += idx
+        self._note_oof_persistence(idx)
+        del self._buffer[:idx]
+        self.state = FramerState.PRESYNC
+        self._presync_ok = 0
+        self._oof_hunt_bytes = 0
+        self._lof_declared = False
+        return True
+
+    def _note_oof_persistence(self, hunted_bytes: int) -> None:
+        """Escalate OOF to LOF when hunting persists (GR-253's 3 ms,
+        modelled as ``lof_threshold`` frame-times of fruitless hunt)."""
+        if not self.counters.oof_events or self._lof_declared:
+            return
+        self._oof_hunt_bytes += hunted_bytes
+        if self._oof_hunt_bytes >= self.lof_threshold * self.frame_bytes:
+            self.counters.lof_events += 1
+            self._lof_declared = True
+
+    def _framing_ok(self, raw: bytes) -> bool:
+        return raw.startswith(self._pattern())
+
+    def _process_frame(self, raw: bytes) -> bytes:
+        if not self._framing_ok(raw):
+            return self._handle_bad_framing(raw)
+        self._bad_framings = 0
+        self._oof_frames = 0
+        if self.state is FramerState.PRESYNC:
+            self._presync_ok += 1
+            if self._presync_ok >= 2:
+                self.state = FramerState.SYNC
+        grid_scrambled = np.frombuffer(raw, dtype=np.uint8).reshape(
+            ROWS, self.rate.columns
+        )
+        grid = self._descramble(grid_scrambled)
+        payload = self._extract(grid, grid_scrambled)
+        self.counters.frames_ok += 1
+        return payload
+
+    def _handle_bad_framing(self, raw: bytes) -> bytes:
+        self._bad_framings += 1
+        if self._bad_framings >= self.oof_threshold:
+            self.counters.oof_events += 1
+            self._oof_hunt_bytes = 0
+            # Re-hunt within the data we still hold.
+            self._buffer[:0] = raw  # push the frame back for re-scan
+            del self._buffer[:1]    # but never at offset 0 again
+            self.counters.bytes_discarded_hunting += 1
+            self.state = FramerState.HUNT
+            self._bad_framings = 0
+            self._prev_scrambled = None
+            self._prev_line_portion = None
+            self._prev_spe = None
+        return b""
+
+    def _descramble(self, grid_scrambled: np.ndarray) -> np.ndarray:
+        if not self.descramble:
+            return grid_scrambled.copy()
+        flat = grid_scrambled.reshape(-1).copy()
+        keystream = self._scrambler.sequence(flat.size)
+        start = self.rate.toh_columns
+        mask = np.ones(flat.size, dtype=bool)
+        mask[:start] = False
+        flat[mask] ^= keystream[: int(mask.sum())]
+        return flat.reshape(grid_scrambled.shape)
+
+    def _extract(self, grid: np.ndarray, grid_scrambled: np.ndarray) -> bytes:
+        n = self.n
+        # Parity checks: B1/B2/B3 in this frame cover the previous one.
+        if self._prev_scrambled is not None:
+            if int(grid[1, 0]) != _bip8(self._prev_scrambled):
+                self.counters.b1_errors += 1
+        if self._prev_line_portion is not None:
+            if int(grid[5, 0]) != _bip8(self._prev_line_portion):
+                self.counters.b2_errors += 1
+        # Pointer interpretation.
+        h1, h2 = int(grid[3, 0]), int(grid[3, n])
+        pointer = ((h1 & 0x03) << 8) | h2
+        if pointer > POINTER_MAX:
+            self.counters.pointer_invalid += 1
+            pointer = 0
+        toh = self.rate.toh_columns
+        spe_width = self.rate.spe_columns
+        poh_col = toh + pointer % spe_width
+        stuff = fixed_stuff_columns(n)
+        reserved = {toh + (poh_col - toh + k) % spe_width for k in range(stuff + 1)}
+        if self.expected_c2 is not None and int(grid[2, poh_col]) != self.expected_c2:
+            self.counters.c2_mismatches += 1
+        spe = grid[:, toh:]
+        if self._prev_spe is not None:
+            if int(grid[1, poh_col]) != _bip8(self._prev_spe):
+                self.counters.b3_errors += 1
+        cols = [c for c in range(toh, self.rate.columns) if c not in reserved]
+        payload = grid[:, cols].reshape(-1).tobytes()
+        self._prev_scrambled = grid_scrambled.copy()
+        self._prev_line_portion = grid[3:, :].copy()
+        self._prev_spe = spe.copy()
+        return payload

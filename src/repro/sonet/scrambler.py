@@ -1,0 +1,114 @@
+"""SONET scramblers.
+
+Two distinct scramblers appear in PPP-over-SONET:
+
+* the **frame-synchronous scrambler** (G.707 section 6.5): generator
+  ``1 + x^6 + x^7``, seeded to all-ones on the first SPE byte of each
+  frame, applied to everything except the first row of section
+  overhead.  Guarantees clock-recovery transition density for
+  arbitrary *overhead*, but restarts predictably every frame.
+* the **self-synchronous x^43 + 1 payload scrambler** (RFC 2615):
+  applied to the SPE payload before mapping, precisely because a
+  malicious PPP payload can reproduce the frame-sync scrambler's
+  pattern and kill the line ("scrambler-killer" packets).  RFC 1619
+  (the paper's citation) lacked it; its absence is why RFC 1619 was
+  obsoleted — we implement both so the path can be configured either
+  way.
+
+Both are GF(2) LFSR streams, vectorised with numpy over whole frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+
+__all__ = ["FrameSyncScrambler", "SelfSyncScrambler"]
+
+
+class FrameSyncScrambler:
+    """The 2^7 - 1 frame-synchronous scrambler (1 + x^6 + x^7).
+
+    :meth:`sequence` produces the keystream bytes for one frame; XOR
+    is its own inverse so the same call descrambles.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def sequence(self, nbytes: int) -> np.ndarray:
+        """Keystream of ``nbytes`` bytes, starting from the all-ones seed."""
+        if nbytes in self._cache:
+            return self._cache[nbytes]
+        state = 0x7F  # seven ones
+        out = np.empty(nbytes, dtype=np.uint8)
+        for i in range(nbytes):
+            byte = 0
+            for _ in range(8):
+                bit = (state >> 6) & 1            # output = x^7 tap
+                feedback = ((state >> 6) ^ (state >> 5)) & 1  # x^7 + x^6
+                state = ((state << 1) | feedback) & 0x7F
+                byte = (byte << 1) | bit
+            out[i] = byte
+        self._cache[nbytes] = out
+        return out
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Scramble/descramble a frame-aligned byte array."""
+        data = np.asarray(data, dtype=np.uint8)
+        return data ^ self.sequence(data.size)
+
+
+class SelfSyncScrambler:
+    """The x^43 + 1 self-synchronous scrambler.
+
+    Scramble: ``out[i] = in[i] ^ out[i-43]`` (bitwise over the bit
+    stream).  Descramble: ``out[i] = in[i] ^ in[i-43]`` — errors
+    propagate exactly 43 bits, and the two directions maintain
+    independent 43-bit state carried across calls (the stream spans
+    frame boundaries).
+    """
+
+    TAPS = 43
+
+    def __init__(self) -> None:
+        self._tx_state = np.zeros(self.TAPS, dtype=np.uint8)
+        self._rx_state = np.zeros(self.TAPS, dtype=np.uint8)
+
+    def reset(self) -> None:
+        self._tx_state[:] = 0
+        self._rx_state[:] = 0
+
+    def scramble(self, data: bytes) -> bytes:
+        """Scramble ``data`` continuing from previous state.
+
+        The recurrence ``out[i] = in[i] ^ out[i-43]`` couples only bits
+        in the same residue class mod 43, so each class is a running
+        XOR — vectorised as a column-wise ``bitwise_xor.accumulate``
+        over rows of 43 bits (a frame's worth costs two numpy passes
+        instead of 300k Python iterations).
+        """
+        bits = bytes_to_bits(data)
+        n = bits.size
+        if n == 0:
+            return b""
+        pad = (-n) % self.TAPS
+        grid = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        grid = grid.reshape(-1, self.TAPS)
+        acc = np.bitwise_xor.accumulate(grid, axis=0)
+        out = (acc ^ self._tx_state[None, :]).reshape(-1)[:n]
+        if n >= self.TAPS:
+            self._tx_state = out[-self.TAPS :].copy()
+        else:
+            self._tx_state = np.concatenate([self._tx_state[n:], out])
+        return bits_to_bytes(out)
+
+    def descramble(self, data: bytes) -> bytes:
+        """Descramble ``data`` continuing from previous state."""
+        bits = bytes_to_bits(data)
+        padded = np.concatenate([self._rx_state, bits])
+        out = padded[self.TAPS :] ^ padded[: -self.TAPS]
+        self._rx_state = bits[-self.TAPS :].copy() if bits.size >= self.TAPS else \
+            np.concatenate([self._rx_state[bits.size :], bits])
+        return bits_to_bytes(out)

@@ -1,0 +1,79 @@
+"""The FPGA device library used in the paper's evaluation.
+
+Capacities are the parts' 4-input LUT / flip-flop counts (two LUTs and
+two FFs per slice):
+
+=============  ======  ======  ========================================
+device         LUTs    FFs     role in the paper
+=============  ======  ======  ========================================
+XCV50-4        1536    1536    Virtex target for the 8-bit P5 (Table 1)
+XC2V40-6       512     512     Virtex-II target for the 8-bit P5 and
+                               the escape-generator study (Tables 1, 3)
+XCV600-4       13824   13824   Virtex target for the 32-bit P5 (Table 2)
+XC2V1000-6     10240   10240   Virtex-II target for the 32-bit P5
+=============  ======  ======  ========================================
+
+Delays are per-level estimates for the quoted speed grades; the paper
+observes that "the delay at each LUT is slightly greater with Virtex"
+and that the Virtex-II speedup is technological, not placement luck —
+which the two families' (lut_delay, net_delay) pairs encode directly.
+Pre-layout timing uses an optimistic routing estimate
+(``net_delay * PRE_LAYOUT_NET_FACTOR``); post-layout uses the full
+net delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DeviceSpec", "DEVICES", "get_device", "PRE_LAYOUT_NET_FACTOR"]
+
+#: Pre-layout routing optimism (Synplicity's estimate vs placed reality).
+PRE_LAYOUT_NET_FACTOR = 0.55
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One FPGA part + speed grade."""
+
+    name: str
+    family: str
+    luts: int
+    ffs: int
+    lut_delay_ns: float
+    net_delay_ns: float
+
+    def cycle_time_ns(self, levels: int, *, post_layout: bool) -> float:
+        """Register-to-register delay for a ``levels``-deep path."""
+        net = self.net_delay_ns * (1.0 if post_layout else PRE_LAYOUT_NET_FACTOR)
+        clk_overhead = self.lut_delay_ns  # clk->q + setup, same order as a LUT
+        return levels * (self.lut_delay_ns + net) + clk_overhead
+
+    def fmax_mhz(self, levels: int, *, post_layout: bool) -> float:
+        """Maximum clock for the given logic depth."""
+        return 1e3 / self.cycle_time_ns(levels, post_layout=post_layout)
+
+    def utilization(self, luts: int, ffs: int) -> Tuple[float, float]:
+        """(LUT %, FF %) of this device."""
+        return (100.0 * luts / self.luts, 100.0 * ffs / self.ffs)
+
+
+DEVICES: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        DeviceSpec("XCV50-4", "Virtex", 1536, 1536, 0.80, 1.55),
+        DeviceSpec("XCV600-4", "Virtex", 13824, 13824, 0.80, 1.55),
+        DeviceSpec("XC2V40-6", "Virtex-II", 512, 512, 0.44, 0.95),
+        DeviceSpec("XC2V1000-6", "Virtex-II", 10240, 10240, 0.44, 0.95),
+    )
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,82 @@
+"""Netlist accumulation: LUT/FF/depth bookkeeping per component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["NetlistEntry", "Netlist"]
+
+
+@dataclass(frozen=True)
+class NetlistEntry:
+    """One mapped component.
+
+    ``depth`` is the component's internal combinational depth in LUT
+    levels — because every pipeline stage is register-bounded, the
+    critical path of a module is the *maximum* entry depth, not a sum.
+    """
+
+    name: str
+    luts: int
+    ffs: int
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.luts < 0 or self.ffs < 0 or self.depth < 0:
+            raise ValueError(f"negative resource in netlist entry {self.name!r}")
+
+
+@dataclass
+class Netlist:
+    """A named collection of mapped components."""
+
+    name: str
+    entries: List[NetlistEntry] = field(default_factory=list)
+
+    def add(self, name: str, *, luts: int = 0, ffs: int = 0, depth: int = 0) -> None:
+        """Append one component."""
+        self.entries.append(NetlistEntry(name, luts, ffs, depth))
+
+    def merge(self, other: "Netlist", prefix: str = "") -> None:
+        """Absorb another netlist's entries (hierarchy flattening)."""
+        label = prefix or other.name
+        for entry in other.entries:
+            self.entries.append(
+                NetlistEntry(f"{label}/{entry.name}", entry.luts, entry.ffs, entry.depth)
+            )
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def luts(self) -> int:
+        return sum(e.luts for e in self.entries)
+
+    @property
+    def ffs(self) -> int:
+        return sum(e.ffs for e in self.entries)
+
+    @property
+    def depth(self) -> int:
+        """Worst single-stage combinational depth (LUT levels)."""
+        return max((e.depth for e in self.entries), default=0)
+
+    def by_group(self) -> Dict[str, Dict[str, int]]:
+        """Totals keyed by top-level hierarchy name."""
+        groups: Dict[str, Dict[str, int]] = {}
+        for entry in self.entries:
+            group = entry.name.split("/", 1)[0]
+            acc = groups.setdefault(group, {"luts": 0, "ffs": 0, "depth": 0})
+            acc["luts"] += entry.luts
+            acc["ffs"] += entry.ffs
+            acc["depth"] = max(acc["depth"], entry.depth)
+        return groups
+
+    def table(self) -> str:
+        """Formatted per-group resource table."""
+        lines = [f"{'module':<24} {'LUTs':>6} {'FFs':>6} {'depth':>6}"]
+        for group, acc in sorted(self.by_group().items()):
+            lines.append(
+                f"{group:<24} {acc['luts']:>6} {acc['ffs']:>6} {acc['depth']:>6}"
+            )
+        lines.append(f"{'TOTAL':<24} {self.luts:>6} {self.ffs:>6} {self.depth:>6}")
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Technology-mapping primitives: components to 4-LUT/FF costs.
+
+Every formula here is the standard structural estimate for mapping
+onto 4-input LUTs:
+
+* a k-input XOR (or any associative gate) maps to a tree of 4-LUTs:
+  ``ceil((k-1)/3)`` LUTs, ``ceil(log4(k))`` levels;
+* an n-way multiplexer of an 8-bit byte costs ``ceil((n-1)/3)`` LUTs
+  per bit (each 4-LUT merges 2 data inputs + select logic);
+* an 8-bit equality comparator against a constant is 3 LUTs
+  (two 4-bit halves + combine), 2 levels.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "xor_tree_luts",
+    "xor_tree_depth",
+    "mux_luts",
+    "mux_depth",
+    "eq_const_comparator_luts",
+    "EQ_COMPARATOR_DEPTH",
+    "popcount_luts",
+    "adder_luts",
+    "clog2",
+    "clog4",
+]
+
+#: Depth of an 8-bit constant comparator (two levels of 4-LUTs).
+EQ_COMPARATOR_DEPTH = 2
+
+
+def clog2(n: int) -> int:
+    """Ceiling log2 (0 for n <= 1)."""
+    return max(0, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def clog4(n: int) -> int:
+    """Ceiling log4 (0 for n <= 1) — LUT tree depth for fan-in n."""
+    return max(0, math.ceil(math.log(n, 4))) if n > 1 else 0
+
+
+def xor_tree_luts(fanin: int) -> int:
+    """4-LUT count of one XOR tree with ``fanin`` inputs."""
+    if fanin <= 1:
+        return 0
+    return math.ceil((fanin - 1) / 3)
+
+
+def xor_tree_depth(fanin: int) -> int:
+    """LUT levels of one XOR tree."""
+    return clog4(fanin)
+
+
+def mux_luts(fanin: int, width_bits: int = 8) -> int:
+    """LUTs for an n-to-1 multiplexer of a ``width_bits`` word."""
+    if fanin <= 1:
+        return 0
+    return math.ceil((fanin - 1) / 3) * width_bits
+
+
+def mux_depth(fanin: int) -> int:
+    """LUT levels through the mux tree (selects pre-decoded)."""
+    return clog4(fanin)
+
+
+def eq_const_comparator_luts(width_bits: int = 8) -> int:
+    """Equality-against-constant comparator."""
+    return math.ceil(width_bits / 4) + (1 if width_bits > 4 else 0)
+
+
+def popcount_luts(n_inputs: int) -> int:
+    """Population count of ``n_inputs`` bits (compressor tree)."""
+    if n_inputs <= 1:
+        return 0
+    return n_inputs  # one LUT per input is the standard coarse bound
+
+
+def adder_luts(width_bits: int) -> int:
+    """Ripple/carry-chain adder (carry logic is free on these parts)."""
+    return width_bits

@@ -1,0 +1,82 @@
+"""Synthesis reports: the Tables 1-3 generator.
+
+:func:`synthesize` runs the area model and timing analysis for one
+netlist on one device and returns a :class:`SynthesisReport` whose
+:meth:`~SynthesisReport.row` prints in the paper's table format:
+LUTs (utilization %), FFs (utilization %), f_max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DeviceCapacityError
+from repro.synth.devices import get_device
+from repro.synth.netlist import Netlist
+from repro.synth.timing import TimingReport, analyze_timing
+
+__all__ = ["SynthesisReport", "synthesize", "format_table"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """One design x device synthesis outcome."""
+
+    design: str
+    device: str
+    family: str
+    luts: int
+    ffs: int
+    lut_pct: float
+    ff_pct: float
+    timing: TimingReport
+
+    def row(self, *, post_layout: bool) -> str:
+        """One table row in the paper's 'count (pct%)' style."""
+        fmax = (
+            self.timing.fmax_post_mhz if post_layout else self.timing.fmax_pre_mhz
+        )
+        return (
+            f"{self.device:<12} {self.luts:>6} ({self.lut_pct:4.1f}%)  "
+            f"{self.ffs:>6} ({self.ff_pct:4.1f}%)  {fmax:7.1f} MHz"
+        )
+
+
+def synthesize(
+    netlist: Netlist,
+    device_name: str,
+    *,
+    allow_overflow: bool = False,
+) -> SynthesisReport:
+    """Map ``netlist`` onto a device; checks capacity like a fitter."""
+    device = get_device(device_name)
+    luts, ffs = netlist.luts, netlist.ffs
+    if not allow_overflow and (luts > device.luts or ffs > device.ffs):
+        raise DeviceCapacityError(
+            f"{netlist.name}: {luts} LUTs / {ffs} FFs exceeds "
+            f"{device.name} ({device.luts} LUTs / {device.ffs} FFs)"
+        )
+    lut_pct, ff_pct = device.utilization(luts, ffs)
+    return SynthesisReport(
+        design=netlist.name,
+        device=device.name,
+        family=device.family,
+        luts=luts,
+        ffs=ffs,
+        lut_pct=lut_pct,
+        ff_pct=ff_pct,
+        timing=analyze_timing(netlist, device),
+    )
+
+
+def format_table(title: str, reports: List[SynthesisReport]) -> str:
+    """Render pre-/post-layout rows for several devices, paper-style."""
+    lines = [title, "=" * len(title)]
+    lines.append("Pre-layout synthesis")
+    for report in reports:
+        lines.append("  " + report.row(post_layout=False))
+    lines.append("Post-layout synthesis")
+    for report in reports:
+        lines.append("  " + report.row(post_layout=True))
+    return "\n".join(lines)

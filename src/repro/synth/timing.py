@@ -1,0 +1,64 @@
+"""Timing analysis: critical path depth and achievable clock.
+
+The paper: "Timing analysis revealed that the critical path is the
+same for each device and in each case passes through 6 [LUTs].  The
+delay at each LUT is slightly greater with Virtex technology ... this
+speed-up is not achieved by a more efficient placement and routing
+process but [is due] to the technological advantage Virtex II offers."
+
+Our model makes that statement structural: the depth comes from the
+netlist (device-independent), the per-level delay from the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import P5Config
+from repro.synth.devices import DeviceSpec
+from repro.synth.netlist import Netlist
+
+__all__ = ["critical_path_levels", "TimingReport", "analyze_timing"]
+
+
+def critical_path_levels(netlist: Netlist) -> int:
+    """LUT levels on the worst register-to-register path."""
+    return netlist.depth
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Timing results for one netlist on one device."""
+
+    device: str
+    family: str
+    levels: int
+    fmax_pre_mhz: float
+    fmax_post_mhz: float
+
+    def meets(self, required_mhz: float, *, post_layout: bool = True) -> bool:
+        """Whether the design closes timing at ``required_mhz``."""
+        fmax = self.fmax_post_mhz if post_layout else self.fmax_pre_mhz
+        return fmax >= required_mhz
+
+
+def analyze_timing(netlist: Netlist, device: DeviceSpec) -> TimingReport:
+    """Compute pre- and post-layout f_max for ``netlist`` on ``device``."""
+    levels = critical_path_levels(netlist)
+    return TimingReport(
+        device=device.name,
+        family=device.family,
+        levels=levels,
+        fmax_pre_mhz=device.fmax_mhz(levels, post_layout=False),
+        fmax_post_mhz=device.fmax_mhz(levels, post_layout=True),
+    )
+
+
+def required_clock_mhz(config: P5Config) -> float:
+    """Clock needed to hit the line rate at the datapath width.
+
+    2.5 Gbps on a 32-bit bus -> 78.125 MHz (the paper's "the system
+    had to operate at a frequency of at least" figure); 625 Mbps on
+    8 bits is the same 78.125 MHz.
+    """
+    return config.clock_hz / 1e6

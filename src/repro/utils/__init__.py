@@ -1,0 +1,25 @@
+"""Shared low-level helpers: bit/byte manipulation and deterministic RNG."""
+
+from repro.utils.bits import (
+    bit_reflect,
+    bits_to_int,
+    bytes_to_bits,
+    bits_to_bytes,
+    int_to_bits,
+    hexdump,
+    parity,
+    popcount,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "bit_reflect",
+    "bits_to_int",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "hexdump",
+    "parity",
+    "popcount",
+    "make_rng",
+]

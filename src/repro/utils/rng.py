@@ -1,0 +1,29 @@
+"""Deterministic random-number helpers.
+
+All stochastic code in the library (workload generators, BER line
+models, fuzzing helpers) accepts either a seed or a ready-made
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps
+experiments reproducible: the benchmarks always pass explicit seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` gives a fresh OS-seeded generator; an ``int`` gives a
+    deterministic PCG64 stream; an existing generator passes through
+    untouched so callers can share one stream across components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

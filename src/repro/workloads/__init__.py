@@ -1,0 +1,29 @@
+"""Workload generators for the benchmarks and examples.
+
+* :mod:`repro.workloads.imix` — the classic Internet mix of packet
+  sizes (the "massive amount of information" of the paper's intro);
+* :mod:`repro.workloads.random_payload` — payloads with a controlled
+  density of escape-triggering octets, the key stressor for the
+  escape pipelines (worst case: every byte a flag);
+* :mod:`repro.workloads.packets` — PPP frame-content streams built
+  from real IPv4 datagrams.
+"""
+
+from repro.workloads.imix import IMIX_SIMPLE, ImixProfile, imix_sizes
+from repro.workloads.random_payload import (
+    all_flags_payload,
+    flag_density_payload,
+    random_payload,
+)
+from repro.workloads.packets import PacketStream, ppp_frame_contents
+
+__all__ = [
+    "ImixProfile",
+    "IMIX_SIMPLE",
+    "imix_sizes",
+    "random_payload",
+    "flag_density_payload",
+    "all_flags_payload",
+    "PacketStream",
+    "ppp_frame_contents",
+]

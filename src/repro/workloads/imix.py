@@ -1,0 +1,54 @@
+"""IMIX packet-size distributions.
+
+The "simple IMIX" used across router benchmarking: 7 parts 40-byte,
+4 parts 576-byte, 1 part 1500-byte packets (per 12), giving a mean
+packet size of ~340 bytes — representative of the voice/web/bulk
+traffic blend the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["ImixProfile", "IMIX_SIMPLE", "imix_sizes"]
+
+
+@dataclass(frozen=True)
+class ImixProfile:
+    """A weighted mixture of IP datagram sizes."""
+
+    name: str
+    sizes: Tuple[int, ...]
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be equal-length, non-empty")
+        if any(s < 20 for s in self.sizes):
+            raise ValueError("IP datagrams cannot be smaller than their header")
+
+    @property
+    def mean_size(self) -> float:
+        total = sum(self.weights)
+        return sum(s * w for s, w in zip(self.sizes, self.weights)) / total
+
+    def sample(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` datagram sizes."""
+        rng = make_rng(seed)
+        probs = np.array(self.weights, dtype=float)
+        probs /= probs.sum()
+        return rng.choice(np.array(self.sizes), size=count, p=probs)
+
+
+#: The canonical simple IMIX: 40/576/1500 bytes at 7:4:1.
+IMIX_SIMPLE = ImixProfile("simple-imix", (40, 576, 1500), (7, 4, 1))
+
+
+def imix_sizes(count: int, seed: SeedLike = None, profile: ImixProfile = IMIX_SIMPLE) -> List[int]:
+    """Convenience: a list of datagram sizes from the profile."""
+    return [int(s) for s in profile.sample(count, seed)]

@@ -1,0 +1,72 @@
+"""PPP frame-content streams built from real IPv4 datagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ipv4 import Ipv4Datagram
+from repro.ppp.frame import PPPFrame
+from repro.ppp.ipcp import parse_ipv4
+from repro.ppp.protocol_numbers import PROTO_IPV4
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.imix import IMIX_SIMPLE, ImixProfile
+from repro.workloads.random_payload import random_payload
+
+__all__ = ["PacketStream", "ppp_frame_contents"]
+
+
+@dataclass
+class PacketStream:
+    """A reproducible stream of IPv4-in-PPP frames.
+
+    Parameters
+    ----------
+    profile:
+        Datagram size mixture.
+    src / dst:
+        Dotted-quad endpoint addresses stamped into every header.
+    seed:
+        Drives both sizes and payload bytes.
+    """
+
+    profile: ImixProfile = IMIX_SIMPLE
+    src: str = "10.0.0.1"
+    dst: str = "10.0.0.2"
+    seed: SeedLike = 0
+
+    def datagrams(self, count: int) -> List[Ipv4Datagram]:
+        """``count`` checksummed datagrams following the profile."""
+        rng = make_rng(self.seed)
+        sizes = self.profile.sample(count, rng)
+        src, dst = parse_ipv4(self.src), parse_ipv4(self.dst)
+        out = []
+        for i, size in enumerate(sizes):
+            payload = random_payload(int(size) - 20, rng)
+            out.append(
+                Ipv4Datagram.build(
+                    src, dst, payload, identification=i & 0xFFFF
+                )
+            )
+        return out
+
+    def frame_contents(self, count: int, *, address: int = 0xFF) -> List[bytes]:
+        """The datagrams encapsulated as PPP frame contents."""
+        return [
+            PPPFrame(
+                protocol=PROTO_IPV4,
+                information=d.encode(),
+                address=address,
+            ).encode()
+            for d in self.datagrams(count)
+        ]
+
+
+def ppp_frame_contents(
+    count: int,
+    *,
+    seed: SeedLike = 0,
+    profile: ImixProfile = IMIX_SIMPLE,
+) -> List[bytes]:
+    """Shorthand for the common benchmark workload."""
+    return PacketStream(profile=profile, seed=seed).frame_contents(count)

@@ -1,0 +1,53 @@
+"""Payload generators with controlled escape density.
+
+The expansion a payload suffers under RFC 1662 stuffing depends only
+on how many of its octets fall in the escape set.  These generators
+pin that density:
+
+* uniform random octets → density 2/256 ≈ 0.78 % (two escapable
+  values), the paper's "normal" case;
+* ``flag_density_payload(p)`` → a fraction ``p`` of octets are flags,
+  sweeping smoothly to the worst case;
+* ``all_flags_payload`` → the "however unlikely" all-flag word case
+  of the paper, doubling the stream and forcing the backpressure path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdlc.constants import ESC_OCTET, FLAG_OCTET
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["random_payload", "flag_density_payload", "all_flags_payload"]
+
+
+def random_payload(length: int, seed: SeedLike = None) -> bytes:
+    """Uniform random octets (natural ~0.78 % escape density)."""
+    rng = make_rng(seed)
+    return rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+
+
+def flag_density_payload(length: int, density: float, seed: SeedLike = None) -> bytes:
+    """Payload where each octet is a flag/escape with probability ``density``.
+
+    Non-special octets are drawn uniformly from the 254 values outside
+    the escape set, so the density is exact in expectation.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    rng = make_rng(seed)
+    specials = np.where(
+        rng.random(length) < 0.5, np.uint8(FLAG_OCTET), np.uint8(ESC_OCTET)
+    )
+    plain = rng.integers(0, 254, length, dtype=np.uint8)
+    # Remap the two escape values out of the plain range.
+    plain[plain == FLAG_OCTET] = 254
+    plain[plain == ESC_OCTET] = 255
+    take_special = rng.random(length) < density
+    return np.where(take_special, specials, plain).astype(np.uint8).tobytes()
+
+
+def all_flags_payload(length: int) -> bytes:
+    """The worst case: every octet must be escaped (stream doubles)."""
+    return bytes([FLAG_OCTET]) * length

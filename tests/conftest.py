@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import P5Config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that sample data."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=[8, 16, 32, 64], ids=lambda w: f"{w}bit")
+def any_width_config(request) -> P5Config:
+    """A P5Config at every supported datapath width."""
+    return P5Config(width_bits=request.param)
+
+
+@pytest.fixture
+def config8() -> P5Config:
+    return P5Config.eight_bit()
+
+
+@pytest.fixture
+def config32() -> P5Config:
+    return P5Config.thirty_two_bit()
+
+
+def random_bytes(rng: np.random.Generator, n: int) -> bytes:
+    """Uniform random payload (tests import this helper from conftest)."""
+    return rng.integers(0, 256, n, dtype=np.uint8).tobytes()

@@ -1,0 +1,100 @@
+"""Unit tests for the measurement/analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    expected_expansion,
+    ip_over_sonet_efficiency,
+    measure_escape_latency,
+    measure_escape_throughput,
+    measure_expansion,
+    worst_case_expansion,
+)
+from repro.analysis.expansion import UNIFORM_RANDOM_DENSITY
+from repro.core.config import P5Config
+from repro.workloads import all_flags_payload, flag_density_payload, random_payload
+
+
+class TestExpansion:
+    def test_analytic_bounds(self):
+        assert expected_expansion(0.0) == 1.0
+        assert expected_expansion(1.0) == worst_case_expansion() == 2.0
+
+    def test_analytic_matches_empirical(self):
+        for density in (0.0, 0.1, 0.5, 1.0):
+            payload = flag_density_payload(40_000, density, seed=1)
+            sample = measure_expansion(payload)
+            assert sample.factor == pytest.approx(
+                expected_expansion(density), abs=0.02
+            )
+
+    def test_uniform_random_density(self):
+        sample = measure_expansion(random_payload(100_000, seed=2))
+        assert sample.factor == pytest.approx(
+            expected_expansion(UNIFORM_RANDOM_DENSITY), abs=0.01
+        )
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            expected_expansion(-0.1)
+
+    def test_empty_payload(self):
+        assert measure_expansion(b"").factor == 1.0
+
+
+class TestThroughput:
+    def test_paper_rates(self):
+        """625 Mbps (8-bit) and 2.5 Gbps (32-bit) at 78.125 MHz."""
+        payload = random_payload(20_000, seed=1)
+        r8 = measure_escape_throughput(payload, P5Config.eight_bit())
+        r32 = measure_escape_throughput(payload, P5Config.thirty_two_bit())
+        assert r8.line_gbps == pytest.approx(0.625, rel=0.02)
+        assert r32.line_gbps == pytest.approx(2.5, rel=0.02)
+        assert r32.utilization > 0.99
+
+    def test_worst_case_line_rate_held(self):
+        """All-flag payload: output stays at line rate, intake halves."""
+        report = measure_escape_throughput(
+            all_flags_payload(8_000), P5Config.thirty_two_bit()
+        )
+        assert report.line_gbps == pytest.approx(2.5, rel=0.03)
+        assert report.input_gbps == pytest.approx(1.25, rel=0.03)
+
+    def test_report_accounting(self):
+        payload = random_payload(4_000, seed=3)
+        report = measure_escape_throughput(payload, P5Config.thirty_two_bit())
+        assert report.payload_bytes == 4_000
+        assert report.output_bytes >= report.payload_bytes
+
+
+class TestLatency:
+    def test_paper_fill_latency(self):
+        report = measure_escape_latency(P5Config.thirty_two_bit())
+        assert report.fill_cycles == 4
+        assert report.fill_ns == pytest.approx(51.2, abs=0.1)
+
+    def test_8bit_shallower(self):
+        report = measure_escape_latency(P5Config.eight_bit())
+        assert report.fill_cycles == 2
+
+
+class TestEfficiency:
+    def test_total_efficiency_sane(self):
+        eff = ip_over_sonet_efficiency(1500, 48)
+        assert 0.90 < eff.total_efficiency < 1.0
+        assert eff.sonet_efficiency == pytest.approx(0.963, abs=0.01)
+
+    def test_small_packets_less_efficient(self):
+        small = ip_over_sonet_efficiency(40, 48)
+        large = ip_over_sonet_efficiency(1500, 48)
+        assert small.total_efficiency < large.total_efficiency
+
+    def test_breakdown_consistent(self):
+        eff = ip_over_sonet_efficiency(576, 12)
+        assert eff.total_efficiency == pytest.approx(
+            eff.sonet_efficiency * eff.ppp_efficiency, rel=1e-9
+        )
+
+    def test_tiny_datagram_rejected(self):
+        with pytest.raises(ValueError):
+            ip_over_sonet_efficiency(10)

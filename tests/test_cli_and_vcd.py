@@ -1,0 +1,102 @@
+"""Unit tests for the CLI and the VCD waveform exporter."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rtl import Channel, Simulator, StreamSink, StreamSource, beats_from_bytes
+from repro.rtl.vcd import VcdWriter, _identifier
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "78.125 MHz" in out and "STS-48c" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+        assert "XC2V1000-6" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--width", "32", "--bytes", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "2.4" in out or "2.5" in out
+
+    def test_throughput_worst_case(self, capsys):
+        assert main(
+            ["throughput", "--width", "8", "--bytes", "2000",
+             "--payload", "all-flags"]
+        ) == 0
+        assert "0.625" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--width", "32"]) == 0
+        assert "4 cycles" in capsys.readouterr().out
+
+    def test_latency_custom_stages(self, capsys):
+        assert main(["latency", "--width", "32", "--stages", "6"]) == 0
+        assert "6 cycles" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "wave.vcd"
+        assert main(["trace", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "$enddefinitions" in out_file.read_text()
+
+    def test_parser_rejects_bad_width(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["throughput", "--width", "24"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_duplex(self, capsys):
+        assert main(["duplex", "--width", "8", "--frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all FCS-good: True" in out
+
+
+class TestVcd:
+    def _run(self):
+        c1, c2 = Channel("a", capacity=2), Channel("b", capacity=2)
+        src = StreamSource("src", c1, beats_from_bytes(b"\x7e\x01\x02\x03", 4))
+        from repro.core.escape_pipeline import PipelinedEscapeGenerate
+
+        unit = PipelinedEscapeGenerate("u", c1, c2, width_bytes=4)
+        sink = StreamSink("sink", c2)
+        sim = Simulator([src, unit, sink], [c1, c2])
+        writer = VcdWriter([c1, c2])
+        sim.add_observer(writer.sample)
+        sim.run_until(lambda: src.done and unit.idle and not c2.can_pop, timeout=50)
+        return writer
+
+    def test_header_declares_signals(self):
+        vcd = self._run().render()
+        assert "$timescale 12800ps $end" in vcd
+        assert "a_valid" in vcd and "b_data" in vcd and "b_nvalid" in vcd
+
+    def test_value_changes_recorded(self):
+        vcd = self._run().render()
+        # Time markers and at least one binary vector change.
+        assert "#1" in vcd
+        assert "\nb" in vcd
+
+    def test_changes_are_deduplicated(self):
+        writer = self._run()
+        keys = [(c, i) for c, i, _ in writer._changes]
+        # No (cycle, id) pair appears twice and consecutive identical
+        # values are suppressed by construction.
+        assert len(keys) == len(set(keys))
+
+    def test_identifier_compactness(self):
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+        assert all(len(s) <= 2 for s in ids)
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        self._run().save(str(path))
+        assert path.read_text().startswith("$date")

@@ -1,0 +1,123 @@
+"""Unit tests for the behavioural escape generate/detect golden models."""
+
+import pytest
+
+from repro.core.escape_det import EscapeDetector, contract_word
+from repro.core.escape_gen import EscapeGenerator, expand_word
+from repro.errors import FramingError
+from repro.hdlc import stuff
+from repro.rtl.pipeline import WordBeat, beats_from_bytes, bytes_from_beats
+
+
+class TestExpandWord:
+    def test_clean_word_unchanged(self):
+        beat = WordBeat.from_bytes(b"\x12\x34\x56\x78", 4)
+        assert expand_word(beat) == b"\x12\x34\x56\x78"
+
+    def test_paper_figure5_case(self):
+        """7E 12 34 56 -> 7D 5E 12 34 | 56: five bytes from four."""
+        beat = WordBeat.from_bytes(bytes([0x7E, 0x12, 0x34, 0x56]), 4)
+        assert expand_word(beat) == bytes([0x7D, 0x5E, 0x12, 0x34, 0x56])
+
+    def test_all_flags_doubles(self):
+        """The paper's 'however unlikely' worst case."""
+        beat = WordBeat.from_bytes(bytes([0x7E] * 4), 4)
+        assert expand_word(beat) == bytes([0x7D, 0x5E] * 4)
+
+    def test_invalid_lanes_skipped(self):
+        beat = WordBeat((0x7E, 0, 0, 0x41), (True, False, False, True))
+        assert expand_word(beat) == bytes([0x7D, 0x5E, 0x41])
+
+    def test_programmable_escape_set(self):
+        beat = WordBeat.from_bytes(b"\x11\x41", 4)
+        escapes = frozenset({0x7E, 0x7D, 0x11})
+        assert expand_word(beat, escapes) == bytes([0x7D, 0x31, 0x41])
+
+
+class TestContractWord:
+    def test_clean_word(self):
+        beat = WordBeat.from_bytes(b"\x12\x34", 4)
+        assert contract_word(beat, False) == (b"\x12\x34", False, 0)
+
+    def test_paper_figure6_case(self):
+        """7D 5E 12 34 -> 7E 12 34 + bubble."""
+        beat = WordBeat.from_bytes(bytes([0x7D, 0x5E, 0x12, 0x34]), 4)
+        out, pending, deleted = contract_word(beat, False)
+        assert out == bytes([0x7E, 0x12, 0x34])
+        assert not pending and deleted == 1
+
+    def test_escape_in_last_lane_sets_pending(self):
+        beat = WordBeat.from_bytes(bytes([0x12, 0x34, 0x56, 0x7D]), 4)
+        out, pending, deleted = contract_word(beat, False)
+        assert out == bytes([0x12, 0x34, 0x56])
+        assert pending and deleted == 1
+
+    def test_pending_xor_applied_to_next_word(self):
+        beat = WordBeat.from_bytes(bytes([0x5E, 0x99]), 4)
+        out, pending, _ = contract_word(beat, True)
+        assert out == bytes([0x7E, 0x99])
+        assert not pending
+
+    def test_bare_flag_is_an_error(self):
+        beat = WordBeat.from_bytes(bytes([0x7E]), 4)
+        with pytest.raises(FramingError):
+            contract_word(beat, False)
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8], ids=lambda w: f"W{w}")
+class TestRoundTrips:
+    def test_generator_matches_rfc_stuffing(self, width, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 300))
+            data = rng.integers(0, 256, n, dtype="uint8").tobytes()
+            gen = EscapeGenerator(width)
+            out = bytes_from_beats(gen.process_frame(data))
+            assert out == stuff(data)
+
+    def test_detector_inverts_generator(self, width, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 300))
+            data = rng.integers(0, 256, n, dtype="uint8").tobytes()
+            stuffed = bytes_from_beats(EscapeGenerator(width).process_frame(data))
+            back = bytes_from_beats(EscapeDetector(width).process_frame(stuffed))
+            assert back == data
+
+    def test_frame_marks(self, width, rng):
+        data = rng.integers(0, 256, 64, dtype="uint8").tobytes()
+        beats = EscapeGenerator(width).process_frame(data)
+        assert beats[0].sof and beats[-1].eof
+        assert sum(b.sof for b in beats) == 1
+        assert sum(b.eof for b in beats) == 1
+
+    def test_escape_accounting_symmetric(self, width):
+        data = bytes([0x7E, 0x41, 0x7D, 0x42] * 10)
+        gen = EscapeGenerator(width)
+        stuffed = bytes_from_beats(gen.process_frame(data))
+        det = EscapeDetector(width)
+        det.process_frame(stuffed)
+        assert gen.flags_escaped == det.escapes_deleted == 20
+
+
+class TestStreamingFrames:
+    def test_back_to_back_frames_keep_alignment(self):
+        gen = EscapeGenerator(4)
+        out1 = bytes_from_beats(
+            [b for beat in beats_from_bytes(b"abcde", 4) for b in gen.feed(beat)]
+        )
+        out2 = bytes_from_beats(
+            [b for beat in beats_from_bytes(b"xyz", 4) for b in gen.feed(beat)]
+        )
+        assert out1 == b"abcde"
+        assert out2 == b"xyz"
+
+    def test_detector_dangling_escape_raises(self):
+        det = EscapeDetector(4)
+        with pytest.raises(FramingError):
+            det.process_frame(bytes([0x41, 0x7D]))
+
+    def test_detector_recovers_after_error(self):
+        det = EscapeDetector(4)
+        with pytest.raises(FramingError):
+            det.process_frame(bytes([0x41, 0x7D]))
+        # State was reset: a clean frame now decodes.
+        assert bytes_from_beats(det.process_frame(b"clean")) == b"clean"

@@ -1,0 +1,248 @@
+"""Cycle-accurate tests for the pipelined escape units — the paper's core."""
+
+import pytest
+
+from repro.core.escape_pipeline import (
+    PipelinedEscapeDetect,
+    PipelinedEscapeGenerate,
+)
+from repro.hdlc import stuff
+from repro.rtl import (
+    Channel,
+    Simulator,
+    StallPattern,
+    StreamSink,
+    StreamSource,
+    beats_from_bytes,
+)
+
+
+def run_generate(
+    data,
+    width=4,
+    *,
+    stages=4,
+    resync=3,
+    src_stall=None,
+    sink_stall=None,
+    timeout=100_000,
+):
+    c_in, c_out = Channel("in", capacity=2), Channel("out", capacity=2)
+    src = StreamSource("src", c_in, beats_from_bytes(data, width), stall=src_stall)
+    unit = PipelinedEscapeGenerate(
+        "gen", c_in, c_out, width_bytes=width,
+        pipeline_stages=stages, resync_depth_words=resync,
+    )
+    sink = StreamSink("sink", c_out, stall=sink_stall)
+    sim = Simulator([src, unit, sink], [c_in, c_out])
+    sim.run_until(
+        lambda: src.done and unit.idle and not c_in.can_pop and not c_out.can_pop,
+        timeout=timeout,
+    )
+    return sim, unit, sink
+
+
+def run_detect(data, width=4, *, stages=4, resync=3, timeout=100_000, **kw):
+    c_in, c_out = Channel("in", capacity=2), Channel("out", capacity=2)
+    src = StreamSource("src", c_in, beats_from_bytes(data, width),
+                       stall=kw.get("src_stall"))
+    unit = PipelinedEscapeDetect(
+        "det", c_in, c_out, width_bytes=width,
+        pipeline_stages=stages, resync_depth_words=resync,
+    )
+    sink = StreamSink("sink", c_out, stall=kw.get("sink_stall"))
+    sim = Simulator([src, unit, sink], [c_in, c_out])
+    sim.run_until(
+        lambda: src.done and unit.idle and not c_in.can_pop and not c_out.can_pop,
+        timeout=timeout,
+    )
+    return sim, unit, sink
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8], ids=lambda w: f"W{w}")
+    def test_generate_matches_golden_model(self, width, rng):
+        stages = 4 if width > 1 else 2
+        for _ in range(5):
+            n = int(rng.integers(1, 400))
+            data = rng.integers(0, 256, n, dtype="uint8").tobytes()
+            _, _, sink = run_generate(data, width, stages=stages)
+            assert sink.data() == stuff(data)
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8], ids=lambda w: f"W{w}")
+    def test_detect_inverts(self, width, rng):
+        stages = 4 if width > 1 else 2
+        for _ in range(5):
+            n = int(rng.integers(1, 400))
+            data = rng.integers(0, 256, n, dtype="uint8").tobytes()
+            _, _, sink = run_detect(stuff(data), width, stages=stages)
+            assert sink.data() == data
+
+    def test_all_flag_word_paper_case(self):
+        """4 flags in one word: 'suddenly 8 bytes' — both words correct."""
+        data = bytes([0x7E] * 4)
+        _, unit, sink = run_generate(data)
+        assert sink.data() == bytes([0x7D, 0x5E] * 4)
+        assert unit.octets_escaped == 4
+
+    def test_figure5_scenario(self):
+        """7E 12 34 56: extra byte spills into the following cycle."""
+        data = bytes([0x7E, 0x12, 0x34, 0x56])
+        _, unit, sink = run_generate(data)
+        assert sink.data() == bytes([0x7D, 0x5E, 0x12, 0x34, 0x56])
+        assert len(sink.beats) == 2
+        assert sink.beats[0].n_valid == 4 and sink.beats[1].n_valid == 1
+
+    def test_figure6_scenario(self):
+        """7D 5E 12 34 | 56...: the bubble is filled by the next word."""
+        data = bytes([0x7D, 0x5E, 0x12, 0x34, 0x56, 0x57, 0x58, 0x59])
+        _, unit, sink = run_detect(data)
+        assert sink.data() == bytes([0x7E, 0x12, 0x34, 0x56, 0x57, 0x58, 0x59])
+        # First output word is full despite the deletion: bubble filled.
+        assert sink.beats[0].n_valid == 4
+
+    def test_escape_split_across_words(self):
+        """Escape octet in the last lane, target in the next word."""
+        data = stuff(bytes([0x41, 0x42, 0x43, 0x7E, 0x44, 0x45]))
+        assert data[3] == 0x7D  # the escape lands on lane 3
+        _, unit, sink = run_detect(data)
+        assert sink.data() == bytes([0x41, 0x42, 0x43, 0x7E, 0x44, 0x45])
+
+    def test_multi_frame_stream(self, rng):
+        frames = [
+            rng.integers(0, 256, int(rng.integers(1, 60)), dtype="uint8").tobytes()
+            for _ in range(8)
+        ]
+        beats = []
+        for frame in frames:
+            beats.extend(beats_from_bytes(frame, 4))
+        c_in, c_out = Channel("in", capacity=2), Channel("out", capacity=2)
+        src = StreamSource("src", c_in, beats)
+        unit = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
+        sink = StreamSink("sink", c_out)
+        sim = Simulator([src, unit, sink], [c_in, c_out])
+        sim.run_until(
+            lambda: src.done and unit.idle and not c_in.can_pop and not c_out.can_pop,
+            timeout=10_000,
+        )
+        assert sink.data() == b"".join(stuff(f) for f in frames)
+        assert sum(b.eof for b in sink.beats) == len(frames)
+
+
+class TestTiming:
+    def test_four_cycle_fill_latency(self):
+        """Paper: 'first data ... delayed by 4 clock cycles'."""
+        from repro.analysis import measure_escape_latency
+        from repro.core.config import P5Config
+
+        report = measure_escape_latency(P5Config.thirty_two_bit())
+        assert report.fill_cycles == 4
+        assert 45 <= report.fill_ns <= 60   # "approximately 50ns"
+
+    def test_continuous_flow_after_fill(self):
+        """Paper: 'Subsequent data flow is continuous and efficient.'"""
+        data = bytes(range(1, 41)) * 10   # no escapable bytes
+        sim, unit, sink = run_generate(data)
+        words = len(data) // 4
+        # Total cycles = words + fill + small drain margin.
+        assert sim.cycle <= words + 8
+
+    def test_worst_case_throughput_halves(self):
+        """All-flag payload doubles the stream: intake rate must halve."""
+        data = bytes([0x7E]) * 400
+        sim, unit, sink = run_generate(data)
+        assert sink.data() == stuff(data)
+        in_rate = unit.bytes_in / sim.cycle
+        out_rate = unit.bytes_out / sim.cycle
+        assert in_rate < 0.55 * 4          # intake halved
+        assert out_rate > 0.9 * 4          # output still near line rate
+
+    def test_deeper_pipeline_longer_fill(self):
+        from repro.analysis import measure_escape_latency
+        from repro.core.config import P5Config
+
+        cfg = P5Config.thirty_two_bit()
+        fills = [
+            measure_escape_latency(cfg, pipeline_stages=s).fill_cycles
+            for s in (2, 3, 4, 6)
+        ]
+        assert fills == [2, 3, 4, 6]
+
+
+class TestBackpressure:
+    def test_resync_occupancy_stays_low(self, rng):
+        """The paper's 'extremely low resynchronisation buffer'."""
+        data = rng.integers(0, 256, 2000, dtype="uint8").tobytes()
+        _, unit, _ = run_generate(data)
+        assert unit.max_resync_occupancy <= 3
+
+    def test_worst_case_never_overflows(self):
+        data = bytes([0x7E]) * 1000
+        _, unit, _ = run_generate(data, resync=3)
+        assert unit.max_resync_occupancy <= 3
+
+    def test_slow_sink_no_data_loss(self, rng):
+        data = rng.integers(0, 256, 600, dtype="uint8").tobytes()
+        _, unit, sink = run_generate(
+            data, sink_stall=StallPattern(probability=0.4, seed=3)
+        )
+        assert sink.data() == stuff(data)
+
+    def test_slow_source_no_data_loss(self, rng):
+        data = rng.integers(0, 256, 600, dtype="uint8").tobytes()
+        _, unit, sink = run_generate(
+            data, src_stall=StallPattern(probability=0.4, seed=4)
+        )
+        assert sink.data() == stuff(data)
+
+    def test_both_sides_stalling(self, rng):
+        data = rng.integers(0, 256, 400, dtype="uint8").tobytes()
+        _, unit, sink = run_detect(
+            stuff(data),
+            src_stall=StallPattern(probability=0.3, seed=5),
+            sink_stall=StallPattern(probability=0.3, seed=6),
+        )
+        assert sink.data() == data
+
+    def test_byte_conservation_counters(self, rng):
+        data = rng.integers(0, 256, 500, dtype="uint8").tobytes()
+        _, unit, sink = run_generate(data)
+        assert unit.bytes_in == len(data)
+        assert unit.bytes_out == len(stuff(data))
+        assert unit.bytes_out == unit.bytes_in + unit.octets_escaped
+
+
+class TestConfiguration:
+    def test_resync_minimum_enforced(self):
+        c_in, c_out = Channel("in"), Channel("out")
+        with pytest.raises(ValueError):
+            PipelinedEscapeGenerate(
+                "gen", c_in, c_out, width_bytes=4, resync_depth_words=2
+            )
+
+    def test_stage_minimum_enforced(self):
+        c_in, c_out = Channel("in"), Channel("out")
+        with pytest.raises(ValueError):
+            PipelinedEscapeGenerate(
+                "gen", c_in, c_out, width_bytes=4, pipeline_stages=1
+            )
+
+    def test_programmable_escape_set(self):
+        c_in, c_out = Channel("in", capacity=2), Channel("out", capacity=2)
+        src = StreamSource("src", c_in, beats_from_bytes(b"\x11\x41\x42\x43", 4))
+        unit = PipelinedEscapeGenerate(
+            "gen", c_in, c_out, width_bytes=4,
+            escapes=frozenset({0x7E, 0x7D, 0x11}),
+        )
+        sink = StreamSink("sink", c_out)
+        sim = Simulator([src, unit, sink], [c_in, c_out])
+        sim.run_until(
+            lambda: src.done and unit.idle and not c_in.can_pop and not c_out.can_pop,
+            timeout=1000,
+        )
+        assert sink.data() == bytes([0x7D, 0x31, 0x41, 0x42, 0x43])
+
+    def test_detect_dangling_escape_counted(self):
+        _, unit, sink = run_detect(bytes([0x41, 0x42, 0x43, 0x7D]))
+        assert unit.dangling_escape_errors == 1
+        assert sink.data() == bytes([0x41, 0x42, 0x43])

@@ -1,0 +1,150 @@
+"""Unit tests for the Protocol OAM block and the register map."""
+
+import pytest
+
+from repro.core.config import P5Config
+from repro.core.oam import (
+    ADDR_CTRL,
+    ADDR_ESC_INSERTED,
+    ADDR_IRQ_MASK,
+    ADDR_IRQ_PENDING,
+    ADDR_RX_FCS_ERRORS,
+    ADDR_RX_FRAMES_OK,
+    ADDR_STATION_ADDRESS,
+    ADDR_TX_FRAMES,
+    CTRL_RX_ENABLE,
+    CTRL_TX_ENABLE,
+    IRQ_RX_ERROR,
+    IRQ_RX_FRAME,
+    IRQ_TX_DONE,
+)
+from repro.core.p5 import P5System, run_duplex_exchange
+from repro.core.regmap import Register, RegisterMap
+from repro.errors import ConfigError
+
+
+class TestRegisterMap:
+    def test_read_write(self):
+        regs = RegisterMap()
+        regs.add(Register("A", 0x0, access="rw", reset=5))
+        assert regs.read(0x0) == 5
+        regs.write(0x0, 9)
+        assert regs.read(0x0) == 9
+
+    def test_read_only_ignores_writes(self):
+        regs = RegisterMap()
+        regs.add(Register("S", 0x1, access="ro", reset=3))
+        regs.write(0x1, 77)
+        assert regs.read(0x1) == 3
+
+    def test_w1c_semantics(self):
+        regs = RegisterMap()
+        reg = regs.add(Register("P", 0x2, access="w1c"))
+        reg.value = 0b1011
+        regs.write(0x2, 0b0010)
+        assert regs.read(0x2) == 0b1001
+
+    def test_on_read_provider(self):
+        counter = {"n": 0}
+        regs = RegisterMap()
+        regs.add(Register("C", 0x3, access="ro",
+                          on_read=lambda: counter["n"]))
+        counter["n"] = 42
+        assert regs.read(0x3) == 42
+
+    def test_duplicate_address_rejected(self):
+        regs = RegisterMap()
+        regs.add(Register("A", 0x0))
+        with pytest.raises(ConfigError):
+            regs.add(Register("B", 0x0))
+
+    def test_duplicate_name_rejected(self):
+        regs = RegisterMap()
+        regs.add(Register("A", 0x0))
+        with pytest.raises(ConfigError):
+            regs.add(Register("A", 0x1))
+
+    def test_unknown_address(self):
+        with pytest.raises(KeyError):
+            RegisterMap().read(0x99)
+
+    def test_reset(self):
+        regs = RegisterMap()
+        regs.add(Register("A", 0x0, reset=1))
+        regs.write(0x0, 7)
+        regs.reset()
+        assert regs.read(0x0) == 1
+
+    def test_name_access(self):
+        regs = RegisterMap()
+        regs.add(Register("A", 0x0))
+        regs.write_name("A", 3)
+        assert regs.read_name("A") == 3
+
+    def test_dump_format(self):
+        regs = RegisterMap()
+        regs.add(Register("CTRL", 0x0, reset=0xAB))
+        assert "CTRL" in regs.dump() and "0x000000AB" in regs.dump()
+
+    def test_invalid_access_mode(self):
+        with pytest.raises(ConfigError):
+            Register("X", 0, access="wo")
+
+
+class TestProtocolOam:
+    def test_reset_values(self):
+        oam = P5System(P5Config(address=0x0B)).oam
+        assert oam.read(ADDR_STATION_ADDRESS) == 0x0B
+        assert oam.read(ADDR_CTRL) == CTRL_TX_ENABLE | CTRL_RX_ENABLE
+
+    def test_ctrl_gates_transmitter(self):
+        system = P5System()
+        system.oam.write(ADDR_CTRL, 0)   # clear TX enable
+        assert not system.tx.source.enabled
+        system.oam.write(ADDR_CTRL, CTRL_TX_ENABLE)
+        assert system.tx.source.enabled
+
+    def test_counters_reflect_traffic(self):
+        result = run_duplex_exchange([b"frame one!", b"frame two!"], [], timeout=50_000)
+        oam_a, oam_b = result.a.oam, result.b.oam
+        assert oam_a.read(ADDR_TX_FRAMES) == 2
+        assert oam_b.read(ADDR_RX_FRAMES_OK) == 2
+        assert oam_b.read(ADDR_RX_FCS_ERRORS) == 0
+
+    def test_escape_counters(self):
+        content = bytes([0x7E] * 8)
+        result = run_duplex_exchange([content], [], timeout=50_000)
+        # Stuffing escapes the 8 flags (plus any escapable FCS octets).
+        assert result.a.oam.read(ADDR_ESC_INSERTED) >= 8
+        assert result.b.oam.regs.read_name("ESC_DELETED") == \
+            result.a.oam.read(ADDR_ESC_INSERTED)
+
+    def test_rx_frame_interrupt(self):
+        result = run_duplex_exchange([b"interrupt me"], [], timeout=50_000)
+        oam = result.b.oam
+        assert oam.read(ADDR_IRQ_PENDING) & IRQ_RX_FRAME
+        assert oam.irq_asserted
+
+    def test_tx_done_interrupt(self):
+        result = run_duplex_exchange([b"payload"], [], timeout=50_000)
+        assert result.a.oam.read(ADDR_IRQ_PENDING) & IRQ_TX_DONE
+
+    def test_irq_ack_clears(self):
+        result = run_duplex_exchange([b"payload"], [], timeout=50_000)
+        oam = result.b.oam
+        pending = oam.read(ADDR_IRQ_PENDING)
+        oam.write(ADDR_IRQ_PENDING, pending)   # w1c everything
+        assert oam.read(ADDR_IRQ_PENDING) == 0
+        assert not oam.irq_asserted
+
+    def test_irq_mask(self):
+        result = run_duplex_exchange([b"payload"], [], timeout=50_000)
+        oam = result.b.oam
+        oam.write(ADDR_IRQ_MASK, 0)
+        assert not oam.irq_asserted
+
+    def test_resync_highwater_exposed(self):
+        content = bytes([0x7E] * 64)
+        result = run_duplex_exchange([content], [], timeout=50_000)
+        hw = result.a.oam.regs.read_name("RESYNC_HIGHWATER_TX")
+        assert 1 <= hw <= 3

@@ -1,0 +1,105 @@
+"""Tests for the programmable framing octets (flag/escape registers)."""
+
+import pytest
+
+from repro.core import P5Config, run_duplex_exchange
+from repro.core.oam import ADDR_FRAMING
+from repro.core.p5 import build_duplex
+from repro.errors import ConfigError
+
+
+class TestConfigValidation:
+    def test_defaults_are_hdlc(self):
+        config = P5Config()
+        assert config.flag_octet == 0x7E and config.esc_octet == 0x7D
+
+    def test_flag_equals_escape_rejected(self):
+        with pytest.raises(ConfigError):
+            P5Config(flag_octet=0x55, esc_octet=0x55)
+
+    def test_escaped_form_collision_rejected(self):
+        # flag ^ 0x20 == esc would make the escaped flag look like an
+        # escape octet: un-delineable.
+        with pytest.raises(ConfigError):
+            P5Config(flag_octet=0x40, esc_octet=0x60)
+
+    def test_range_checked(self):
+        with pytest.raises(ConfigError):
+            P5Config(flag_octet=0x100)
+
+    def test_escape_set_follows_config(self):
+        config = P5Config(flag_octet=0xC3, esc_octet=0xC9)
+        assert config.escape_octets == frozenset({0xC3, 0xC9})
+
+
+class TestCustomFramingEndToEnd:
+    @pytest.mark.parametrize("width", [8, 32])
+    def test_custom_octets_round_trip(self, width, rng):
+        config = P5Config(width_bits=width, flag_octet=0xC3, esc_octet=0xC9)
+        frames = [
+            bytes([0xC3, 0xC9]) * 15,                      # worst case
+            rng.integers(0, 256, 100, dtype="uint8").tobytes(),
+        ]
+        result = run_duplex_exchange(frames, [], config, timeout=200_000)
+        assert [c for c, _ in result.b_received] == frames
+        assert result.all_good()
+
+    def test_wire_uses_custom_flag(self):
+        from repro.core.tx import P5Transmitter
+        from repro.rtl import Simulator, StreamSink
+
+        config = P5Config(flag_octet=0xC3, esc_octet=0xC9)
+        tx = P5Transmitter(config)
+        tx.submit(b"payload without specials")
+        sink = StreamSink("s", tx.phy_out)
+        sim = Simulator(tx.modules + [sink], tx.channels)
+        sim.run_until(lambda: not tx.busy and not tx.phy_out.can_pop,
+                      timeout=10_000)
+        wire = sink.data()
+        assert wire[0] == 0xC3 and wire[-1] == 0xC3
+        assert 0x7E not in (wire[0], wire[-1])
+
+    def test_hdlc_7e_is_ordinary_data_under_custom_framing(self):
+        """With reprogrammed octets, 0x7E needs no escaping at all."""
+        config = P5Config(flag_octet=0xC3, esc_octet=0xC9)
+        frames = [bytes([0x7E, 0x7D]) * 20]
+        result = run_duplex_exchange(frames, [], config, timeout=100_000)
+        assert result.b_received[0][0] == frames[0]
+        assert result.a.tx.escape.octets_escaped == 0
+
+
+class TestOamReprogramming:
+    def test_framing_register_reset_value(self):
+        from repro.core import P5System
+
+        system = P5System(P5Config(flag_octet=0xC3, esc_octet=0xC9))
+        assert system.oam.read(ADDR_FRAMING) == (0xC9 << 8) | 0xC3
+
+    def test_live_reprogramming(self):
+        a, b, sim = build_duplex(P5Config.thirty_two_bit())
+        for system in (a, b):
+            system.oam.write(ADDR_FRAMING, (0xC9 << 8) | 0xC3)
+        content = bytes([0xC3, 0x7E, 0x55]) * 10
+        a.submit(content)
+        sim.run_until(lambda: len(b.received()) == 1, timeout=20_000)
+        assert b.received()[0] == (content, True)
+
+    def test_nonsense_write_ignored(self):
+        from repro.core import P5System
+
+        system = P5System()
+        system.oam.write(ADDR_FRAMING, (0x55 << 8) | 0x55)   # flag == esc
+        assert system.tx.flags.flag_octet == 0x7E   # unchanged
+
+    def test_mismatched_framing_fails_delineation(self):
+        """A receiver on different framing octets sees no frames."""
+        a, b, sim = build_duplex(P5Config.thirty_two_bit())
+        a.oam.write(ADDR_FRAMING, (0xC9 << 8) | 0xC3)   # only the TX side
+        a.submit(b"misframed payload")
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        with _pytest.raises(SimulationError):
+            sim.run_until(lambda: len(b.received()) >= 1, timeout=2_000)
+        assert b.rx.delineator.octets_discarded_hunting > 0

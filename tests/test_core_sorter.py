@@ -1,0 +1,100 @@
+"""Unit tests for the byte sorter (the paper's core mechanism)."""
+
+import pytest
+
+from repro.core.sorter import ByteSorter
+from repro.errors import BackpressureOverflow
+
+
+class TestBasicRepacking:
+    def test_exact_word_passes_through(self):
+        sorter = ByteSorter(4)
+        assert sorter.push(b"abcd") == [b"abcd"]
+        assert sorter.occupancy == 0
+
+    def test_ragged_input_carries(self):
+        sorter = ByteSorter(4)
+        assert sorter.push(b"abc") == []
+        assert sorter.occupancy == 3
+        assert sorter.push(b"de") == [b"abcd"]
+        assert sorter.occupancy == 1
+
+    def test_expansion_case_from_paper_figure5(self):
+        """7E 12 34 56 stuffs to 5 bytes: one word out + one carried."""
+        sorter = ByteSorter(4)
+        words = sorter.push(bytes([0x7D, 0x5E, 0x12, 0x34, 0x56]))
+        assert words == [bytes([0x7D, 0x5E, 0x12, 0x34])]
+        assert sorter.occupancy == 1
+
+    def test_double_word_burst(self):
+        sorter = ByteSorter(4)
+        words = sorter.push(bytes(range(9)))
+        assert words == [bytes([0, 1, 2, 3]), bytes([4, 5, 6, 7])]
+        assert sorter.occupancy == 1
+
+    def test_empty_push(self):
+        sorter = ByteSorter(4)
+        assert sorter.push(b"") == []
+
+    def test_flush_partial(self):
+        sorter = ByteSorter(4)
+        sorter.push(b"ab")
+        assert sorter.flush() == b"ab"
+        assert sorter.flush() is None
+
+    def test_order_preserved_across_many_pushes(self, rng):
+        sorter = ByteSorter(4)
+        chunks = [
+            rng.integers(0, 256, int(rng.integers(0, 9)), dtype="uint8").tobytes()
+            for _ in range(100)
+        ]
+        out = bytearray()
+        for chunk in chunks:
+            for word in sorter.push(chunk):
+                out += word
+        tail = sorter.flush()
+        if tail:
+            out += tail
+        assert bytes(out) == b"".join(chunks)
+
+    def test_reset(self):
+        sorter = ByteSorter(4)
+        sorter.push(b"abc")
+        sorter.reset()
+        assert sorter.occupancy == 0 and sorter.flush() is None
+
+
+class TestInvariants:
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            ByteSorter(0)
+
+    def test_carry_never_holds_full_word(self, rng):
+        """The structural residue bound: occupancy < W after every push."""
+        sorter = ByteSorter(4)
+        for _ in range(200):
+            n = int(rng.integers(0, 12))
+            sorter.push(rng.integers(0, 256, n, dtype="uint8").tobytes())
+            assert sorter.occupancy < 4
+        assert sorter.max_carry < 4
+
+
+class TestStatistics:
+    def test_high_water_mark(self):
+        sorter = ByteSorter(4)
+        sorter.push(b"abc")
+        sorter.push(b"")
+        assert sorter.max_carry == 3
+
+    def test_counters(self):
+        sorter = ByteSorter(2)
+        sorter.push(b"abcd")
+        assert sorter.bytes_in == 4 and sorter.words_emitted == 2
+
+    def test_decision_cases_quadratic(self):
+        """The W(2W+1) decision space behind the paper's area growth."""
+        assert ByteSorter(1).decision_cases() == 3
+        assert ByteSorter(4).decision_cases() == 36
+        assert ByteSorter(8).decision_cases() == 136
+        # Superlinear: quadrupling W grows cases > 4x.
+        assert ByteSorter(4).decision_cases() > 4 * ByteSorter(1).decision_cases()

@@ -1,0 +1,107 @@
+"""Unit tests for the Pei–Zukowski matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.crc import CRC16_X25, CRC32, BitSerialCrc, build_matrices
+from repro.crc.matrix import CrcMatrices
+from repro.crc.polynomial import CrcSpec
+
+
+class TestConstruction:
+    def test_dimensions_32bit_paper_case(self):
+        """The paper's '32 x 32-bit parallel matrix' for the 32-bit P5."""
+        m = build_matrices(CRC32, 32)
+        assert m.h_matrix().shape == (32, 32)
+        assert m.f_matrix().shape == (32, 32)
+
+    def test_dimensions_8bit_paper_case(self):
+        """The paper's '8 x 32-bit parallel matrix' for the 8-bit P5."""
+        m = build_matrices(CRC32, 8)
+        assert m.h_matrix().shape == (32, 8)
+        assert m.f_matrix().shape == (32, 32)
+
+    def test_rejects_non_byte_widths(self):
+        with pytest.raises(ValueError):
+            build_matrices(CRC32, 5)
+        with pytest.raises(ValueError):
+            build_matrices(CRC32, 0)
+
+    def test_cached_instances_shared(self):
+        assert build_matrices(CRC32, 32) is build_matrices(CRC32, 32)
+
+    def test_unregistered_spec_still_works(self):
+        custom = CrcSpec("custom-16", 16, 0x8005, 0, False, False, 0, 0xFEE8, 0)
+        m = build_matrices(custom, 16)
+        assert m.h_matrix().shape == (16, 16)
+
+
+class TestLinearAlgebra:
+    def test_f_matrix_invertible(self):
+        """F must be invertible over GF(2): state history is recoverable."""
+        f = build_matrices(CRC32, 32).f_matrix().astype(np.int64)
+        # Gaussian elimination mod 2.
+        mat = f.copy() % 2
+        n = mat.shape[0]
+        rank = 0
+        for col in range(n):
+            pivot_rows = np.nonzero(mat[rank:, col])[0]
+            if pivot_rows.size == 0:
+                continue
+            pivot = pivot_rows[0] + rank
+            mat[[rank, pivot]] = mat[[pivot, rank]]
+            for r in range(n):
+                if r != rank and mat[r, col]:
+                    mat[r] ^= mat[rank]
+            rank += 1
+        assert rank == n
+
+    def test_f_is_serial_step_power(self):
+        """F_W must equal the serial transition applied W times."""
+        m = build_matrices(CRC32, 8)
+        ref = BitSerialCrc(CRC32)
+        for j in (0, 5, 31):
+            state = 1 << j
+            for _ in range(8):
+                state = ref.core_step(state, 0)
+            assert state == m.f_columns[j]
+
+    def test_step_linearity(self, rng):
+        """step(s1^s2, d1^d2) == step(s1,d1) ^ step(s2,d2) ^ step(0,0)."""
+        m = build_matrices(CRC32, 32)
+        for _ in range(20):
+            s1, s2 = (int(x) for x in rng.integers(0, 1 << 32, 2))
+            d1, d2 = (int(x) for x in rng.integers(0, 1 << 32, 2))
+            lhs = m.step(s1 ^ s2, d1 ^ d2)
+            rhs = m.step(s1, d1) ^ m.step(s2, d2) ^ m.step(0, 0)
+            assert lhs == rhs
+            assert m.step(0, 0) == 0  # strictly linear, no affine part
+
+
+class TestStepWord:
+    @pytest.mark.parametrize("spec", [CRC32, CRC16_X25], ids=lambda s: s.name)
+    @pytest.mark.parametrize("width", [8, 32])
+    def test_step_word_equals_serial(self, spec, width, rng):
+        m = build_matrices(spec, width)
+        ref = BitSerialCrc(spec)
+        state = spec.init
+        serial_state = spec.init
+        for _ in range(10):
+            word = rng.integers(0, 256, width // 8, dtype="uint8").tobytes()
+            state = m.step_word(state, word)
+            ref.state = serial_state
+            ref.update(word)
+            serial_state = ref.state
+            assert state == serial_state
+
+
+class TestFaninAccounting:
+    def test_fanin_shape(self):
+        fanins = build_matrices(CRC32, 32).xor_fanin_per_output()
+        assert fanins.shape == (32,)
+        assert (fanins > 0).all()
+
+    def test_fanin_grows_with_width(self):
+        f8 = build_matrices(CRC32, 8).xor_fanin_per_output().sum()
+        f32 = build_matrices(CRC32, 32).xor_fanin_per_output().sum()
+        assert f32 > f8

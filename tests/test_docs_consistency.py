@@ -1,0 +1,67 @@
+"""Documentation consistency: everything the docs reference must exist."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_design_bench_index_files_exist():
+    """Every `benchmarks/...py` named in DESIGN.md is a real file."""
+    text = (ROOT / "DESIGN.md").read_text()
+    referenced = set(re.findall(r"benchmarks/\w+\.py", text))
+    assert referenced, "the experiment index must name bench files"
+    for path in referenced:
+        assert (ROOT / path).exists(), path
+
+
+def test_experiments_bench_references_exist():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for path in set(re.findall(r"benchmarks/\w+\.py", text)):
+        assert (ROOT / path).exists(), path
+
+
+def test_every_bench_file_is_indexed():
+    """No orphan benchmarks: DESIGN.md's index covers the directory."""
+    text = (ROOT / "DESIGN.md").read_text()
+    for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+        assert f"benchmarks/{bench.name}" in text, bench.name
+
+
+def test_readme_examples_exist():
+    text = (ROOT / "README.md").read_text()
+    for name in set(re.findall(r"`(\w+\.py)`", text)):
+        if name in ("quickstart.py",) or (ROOT / "examples" / name).exists():
+            continue
+        pytest.fail(f"README references missing example {name}")
+
+
+def test_every_example_in_readme():
+    text = (ROOT / "README.md").read_text()
+    for example in (ROOT / "examples").glob("*.py"):
+        assert example.name in text, f"{example.name} not documented in README"
+
+
+def test_design_module_map_packages_exist():
+    """Every `repro.<pkg>` named in DESIGN.md's inventory imports."""
+    import importlib
+
+    text = (ROOT / "DESIGN.md").read_text()
+    for module in sorted(set(re.findall(r"`repro\.(\w+)`", text))):
+        importlib.import_module(f"repro.{module}")
+
+
+def test_docs_directory_files_mentioned_in_readme():
+    text = (ROOT / "README.md").read_text()
+    assert "docs/" in text
+    for doc in (ROOT / "docs").glob("*.md"):
+        assert doc.exists()
+
+
+def test_version_single_source():
+    from repro import __version__
+
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert f'version = "{__version__}"' in pyproject

@@ -1,0 +1,70 @@
+"""Integration tests for GFP-mapped PPP over SONET (the baseline path)."""
+
+import pytest
+
+from repro.phy import BitErrorLine
+from repro.sonet.path import GfpOverSonet, PppOverSonet
+from repro.workloads import ppp_frame_contents
+
+
+class TestGfpPath:
+    def test_round_trip(self):
+        path = GfpOverSonet(12)
+        frames = ppp_frame_contents(20, seed=9)
+        for frame in frames:
+            path.queue_frame(frame)
+        got = []
+        for _ in range(8):
+            got += path.receive_line(path.next_line_frame())
+        assert got == frames
+        assert path.gfp_stats.client_errors == 0
+
+    def test_idle_line(self):
+        path = GfpOverSonet(3)
+        got = []
+        for _ in range(3):
+            got += path.receive_line(path.next_line_frame())
+        assert got == []
+        assert path.gfp_stats.idle_frames > 0
+
+    def test_signal_label_differs_from_hdlc(self):
+        """GFP and PPP/HDLC use different C2 path labels, so a
+        mis-provisioned path is detectable at the SONET layer."""
+        gfp = GfpOverSonet(3)
+        hdlc = PppOverSonet(3)
+        assert gfp.framer.c2 != hdlc.framer.c2
+        # Feed the HDLC receiver a GFP line: C2 mismatch is counted.
+        hdlc.receive_line(gfp.next_line_frame())
+        hdlc.receive_line(gfp.next_line_frame())
+        assert hdlc.sonet_counters.c2_mismatches >= 1
+
+    def test_errored_line_frames_dropped_never_corrupted(self):
+        path = GfpOverSonet(3)
+        frames = ppp_frame_contents(30, seed=10)
+        line = BitErrorLine(5e-5, seed=11)
+        for frame in frames:
+            path.queue_frame(frame)
+        got = []
+        for _ in range(25):
+            got += path.receive_line(line.transmit(path.next_line_frame()))
+            if not path.tx_backlog_frames:
+                break
+        assert all(g in frames for g in got)
+        dropped = len(frames) - len(got)
+        detected = (
+            path.gfp_stats.client_errors
+            + path.gfp_stats.header_errors
+            + path.gfp_stats.resyncs
+        )
+        if dropped:
+            assert detected > 0
+
+    def test_backlog_drains(self):
+        path = GfpOverSonet(3)
+        big = [b"\xff\x03\x00\x21" + bytes(1200) for _ in range(8)]
+        for frame in big:
+            path.queue_frame(frame)
+        got = []
+        for _ in range(10):
+            got += path.receive_line(path.next_line_frame())
+        assert got == big

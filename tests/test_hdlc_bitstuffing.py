@@ -1,0 +1,53 @@
+"""Unit tests for bit-synchronous HDLC transparency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AbortError, FramingError
+from repro.hdlc import bit_stuff, bit_unstuff
+from repro.utils.bits import bytes_to_bits
+
+
+class TestBitStuff:
+    def test_five_ones_get_a_zero(self):
+        bits = np.array([1, 1, 1, 1, 1], dtype=np.uint8)
+        assert list(bit_stuff(bits)) == [1, 1, 1, 1, 1, 0]
+
+    def test_flag_pattern_destroyed(self):
+        flag = bytes_to_bits(b"\x7e")  # 01111110
+        stuffed = bit_stuff(np.tile(flag, 4))
+        # No six consecutive ones can remain.
+        run = 0
+        for bit in stuffed:
+            run = run + 1 if bit else 0
+            assert run < 6
+
+    def test_zeros_untouched(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        assert bit_stuff(bits).size == 64
+
+    def test_insertion_counts(self):
+        bits = np.ones(15, dtype=np.uint8)
+        assert bit_stuff(bits).size == 15 + 3  # a zero after each 5 ones
+
+
+class TestBitUnstuff:
+    def test_round_trip_random(self, rng):
+        bits = rng.integers(0, 2, 2000).astype(np.uint8)
+        assert np.array_equal(bit_unstuff(bit_stuff(bits)), bits)
+
+    def test_round_trip_worst_case(self):
+        bits = np.ones(500, dtype=np.uint8)
+        assert np.array_equal(bit_unstuff(bit_stuff(bits)), bits)
+
+    def test_flag_inside_body_rejected(self):
+        flag = bytes_to_bits(b"\x7e")
+        with pytest.raises(FramingError):
+            bit_unstuff(np.concatenate([np.zeros(4, dtype=np.uint8), flag]))
+
+    def test_trailing_ones_abort(self):
+        with pytest.raises(AbortError):
+            bit_unstuff(np.ones(5, dtype=np.uint8))
+
+    def test_empty(self):
+        assert bit_unstuff(np.array([], dtype=np.uint8)).size == 0

@@ -1,0 +1,118 @@
+"""Unit tests for octet-synchronous transparency (RFC 1662 §4.2)."""
+
+import pytest
+
+from repro.errors import AbortError, FramingError
+from repro.hdlc import Accm, escape_set, stuff, stuffed_length, unstuff
+from repro.hdlc.byte_stuffing import _stuff_scalar, _unstuff_scalar
+
+
+class TestStuffBasics:
+    def test_paper_example(self):
+        """Section 2 of the paper: 31 33 7E 96 -> 31 33 7D 5E 96."""
+        assert stuff(bytes([0x31, 0x33, 0x7E, 0x96])) == bytes(
+            [0x31, 0x33, 0x7D, 0x5E, 0x96]
+        )
+
+    def test_flag_becomes_7d_5e(self):
+        assert stuff(b"\x7e") == b"\x7d\x5e"
+
+    def test_escape_becomes_7d_5d(self):
+        assert stuff(b"\x7d") == b"\x7d\x5d"
+
+    def test_plain_bytes_untouched(self):
+        data = bytes(set(range(256)) - {0x7E, 0x7D})
+        assert stuff(data) == data
+
+    def test_empty(self):
+        assert stuff(b"") == b""
+
+    def test_all_flags_doubles(self):
+        assert stuff(b"\x7e" * 100) == b"\x7d\x5e" * 100
+
+    def test_stuffed_length_matches(self):
+        for data in (b"", b"\x7e\x7d", bytes(range(256)) * 3):
+            assert stuffed_length(data) == len(stuff(data))
+
+
+class TestUnstuff:
+    def test_round_trip_random(self, rng):
+        data = rng.integers(0, 256, 5000, dtype="uint8").tobytes()
+        assert unstuff(stuff(data)) == data
+
+    def test_round_trip_small(self):
+        for data in (b"", b"\x7e", b"\x7d", b"\x7e\x7d\x7e", b"ab\x7ecd"):
+            assert unstuff(stuff(data)) == data
+
+    def test_bare_flag_rejected(self):
+        with pytest.raises(FramingError):
+            unstuff(b"ab\x7ecd")
+
+    def test_abort_sequence_raises(self):
+        with pytest.raises(AbortError):
+            unstuff(b"ab\x7d\x7e")
+
+    def test_abort_in_large_buffer(self):
+        data = bytes(1000).replace(b"\x00", b"\x01") + b"\x7d\x7e" + bytes(100)
+        with pytest.raises(AbortError):
+            unstuff(data)
+
+    def test_dangling_escape_is_abort(self):
+        # The body ends right before the closing flag, so a trailing
+        # escape is the 7D-7E abort sequence.
+        with pytest.raises(AbortError):
+            unstuff(b"abc\x7d")
+
+    def test_dangling_escape_is_abort_large(self):
+        with pytest.raises(AbortError):
+            unstuff(b"\x01" * 200 + b"\x7d")
+
+    def test_chained_escape_strict_rejected(self):
+        with pytest.raises(FramingError):
+            unstuff(b"\x7d\x7d\x41")
+
+    def test_chained_escape_lenient(self):
+        # 7D 7D decodes as escaped 0x5D when strict checking is off.
+        assert unstuff(b"\x7d\x7d", strict=False) == b"\x5d"
+
+    def test_scalar_vector_agree(self, rng):
+        """Both code paths must produce identical results."""
+        data = rng.integers(0, 256, 600, dtype="uint8").tobytes()
+        stuffed = stuff(data)
+        assert _unstuff_scalar(stuffed, strict=True) == unstuff(stuffed)
+        assert _stuff_scalar(data, escape_set()) == stuff(data)
+
+
+class TestAccmInteraction:
+    def test_accm_octets_escaped(self):
+        accm = Accm.from_octets([0x11, 0x13])  # XON/XOFF
+        out = stuff(b"\x11\x41\x13", accm)
+        assert out == bytes([0x7D, 0x31, 0x41, 0x7D, 0x33])
+
+    def test_accm_round_trip(self, rng):
+        accm = Accm.for_async()
+        data = rng.integers(0, 256, 1000, dtype="uint8").tobytes()
+        assert unstuff(stuff(data, accm)) == data
+
+    def test_escape_set_always_contains_mandatory(self):
+        assert {0x7E, 0x7D} <= escape_set()
+        assert {0x7E, 0x7D} <= escape_set(Accm(0))
+
+    def test_async_default_escapes_all_controls(self):
+        escapes = escape_set(Accm.for_async())
+        assert all(c in escapes for c in range(32))
+
+    def test_accm_rejects_wide_mask(self):
+        with pytest.raises(ValueError):
+            Accm(1 << 32)
+
+    def test_accm_from_octets_rejects_high(self):
+        with pytest.raises(ValueError):
+            Accm.from_octets([64])
+
+    def test_must_escape(self):
+        accm = Accm.from_octets([3])
+        assert accm.must_escape(0x7E)
+        assert accm.must_escape(3)
+        assert not accm.must_escape(4)
+        assert not accm.must_escape(0x41)

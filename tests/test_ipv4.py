@@ -1,0 +1,98 @@
+"""Unit tests for the IPv4 codec."""
+
+import pytest
+
+from repro.errors import FramingError
+from repro.ipv4 import Ipv4Datagram, Ipv4Header, internet_checksum
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: 0x0001 + 0xF203 + 0xF4F5 + 0xF6F7.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+    def test_zero_buffer(self):
+        assert internet_checksum(bytes(8)) == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    def test_verification_property(self, rng):
+        """Inserting the checksum makes the total sum verify to 0."""
+        data = bytearray(rng.integers(0, 256, 20, dtype="uint8").tobytes())
+        data[10:12] = b"\x00\x00"
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        assert internet_checksum(bytes(data)) == 0
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = Ipv4Header(
+            src=0x0A000001, dst=0x0A000002, total_length=100,
+            identification=7, ttl=3, protocol=6, dscp=10,
+        )
+        assert Ipv4Header.decode(header.encode()) == header
+
+    def test_encoded_checksum_verifies(self):
+        header = Ipv4Header(src=1, dst=2, total_length=20)
+        assert internet_checksum(header.encode()) == 0
+
+    def test_corruption_detected(self):
+        raw = bytearray(Ipv4Header(src=1, dst=2, total_length=20).encode())
+        raw[15] ^= 0x01
+        with pytest.raises(FramingError):
+            Ipv4Header.decode(bytes(raw))
+
+    def test_version_check(self):
+        raw = bytearray(Ipv4Header(src=1, dst=2, total_length=20).encode())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(FramingError):
+            Ipv4Header.decode(bytes(raw))
+
+    def test_options_unsupported(self):
+        raw = bytearray(Ipv4Header(src=1, dst=2, total_length=24).encode())
+        raw[0] = (4 << 4) | 6
+        with pytest.raises(FramingError):
+            Ipv4Header.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(FramingError):
+            Ipv4Header.decode(bytes(10))
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            Ipv4Header(src=1, dst=2, total_length=10)   # < header
+        with pytest.raises(ValueError):
+            Ipv4Header(src=1, dst=2, total_length=20, ttl=300)
+
+    def test_ttl_decrement(self):
+        header = Ipv4Header(src=1, dst=2, total_length=20, ttl=2)
+        assert header.decremented().ttl == 1
+        with pytest.raises(ValueError):
+            header.decremented().decremented().decremented()
+
+
+class TestDatagram:
+    def test_build_sets_length(self):
+        d = Ipv4Datagram.build(1, 2, b"hello")
+        assert d.header.total_length == 25
+        assert len(d) == 25
+
+    def test_round_trip(self, rng):
+        payload = rng.integers(0, 256, 64, dtype="uint8").tobytes()
+        d = Ipv4Datagram.build(0x0A000001, 0x0A000002, payload, protocol=17)
+        decoded = Ipv4Datagram.decode(d.encode())
+        assert decoded.payload == payload
+        assert decoded.header == d.header
+
+    def test_trailing_padding_ignored(self):
+        d = Ipv4Datagram.build(1, 2, b"abc")
+        decoded = Ipv4Datagram.decode(d.encode() + b"\x00\x00")
+        assert decoded.payload == b"abc"
+
+    def test_truncation_detected(self):
+        d = Ipv4Datagram.build(1, 2, b"abcdef")
+        with pytest.raises(FramingError):
+            Ipv4Datagram.decode(d.encode()[:-3])

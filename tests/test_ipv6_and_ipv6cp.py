@@ -1,0 +1,147 @@
+"""Unit tests for the IPv6 codec and IPV6CP (dual-stack operation)."""
+
+import pytest
+
+from repro.errors import FramingError
+from repro.ipv6 import Ipv6Datagram, Ipv6Header, format_ipv6
+from repro.ppp import IpcpConfig, LcpConfig, PppEndpoint, connect_endpoints
+from repro.ppp.ipcp import parse_ipv4
+from repro.ppp.ipv6cp import Ipv6cp, Ipv6cpConfig
+from repro.ppp.protocol_numbers import PROTO_IPV6
+
+
+class TestIpv6Codec:
+    def test_round_trip(self, rng):
+        payload = rng.integers(0, 256, 100, dtype="uint8").tobytes()
+        d = Ipv6Datagram.build(
+            src=0xFE80 << 112 | 1, dst=0xFE80 << 112 | 2, payload=payload,
+            hop_limit=3, traffic_class=7, flow_label=0x12345,
+        )
+        decoded = Ipv6Datagram.decode(d.encode())
+        assert decoded == d
+        assert len(d) == 40 + 100
+
+    def test_version_enforced(self):
+        raw = bytearray(Ipv6Datagram.build(1, 2, b"x").encode())
+        raw[0] = 0x45
+        with pytest.raises(FramingError):
+            Ipv6Header.decode(bytes(raw))
+
+    def test_truncation_detected(self):
+        d = Ipv6Datagram.build(1, 2, b"abcdef")
+        with pytest.raises(FramingError):
+            Ipv6Datagram.decode(d.encode()[:-3])
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            Ipv6Header(src=1 << 128, dst=0, payload_length=0)
+        with pytest.raises(ValueError):
+            Ipv6Header(src=0, dst=0, payload_length=0, flow_label=1 << 20)
+
+    def test_format(self):
+        assert format_ipv6(0xFE80 << 112 | 0xABCD) == "fe80:0:0:0:0:0:0:abcd"
+
+
+class TestIpv6cpNegotiation:
+    def test_identifiers_exchanged(self):
+        from repro.ppp.fsm import State
+
+        a, b = Ipv6cp(seed=1), Ipv6cp(seed=2)
+        a.fsm.open(); a.fsm.up()
+        b.fsm.open(); b.fsm.up()
+        for _ in range(4):
+            for raw in a.drain_outbox():
+                b.receive_packet(raw)
+            for raw in b.drain_outbox():
+                a.receive_packet(raw)
+        assert a.state is State.OPENED and b.state is State.OPENED
+        assert a.peer_interface_id == b.config.interface_id
+        assert a.config.interface_id != b.config.interface_id
+
+    def test_collision_naked(self):
+        a = Ipv6cp(Ipv6cpConfig(interface_id=0x42), seed=3)
+        from repro.ppp.options import ConfigOption
+
+        verdict = a.judge_option(ConfigOption(1, (0x42).to_bytes(8, "big")))
+        assert isinstance(verdict, tuple) and verdict[0] == "nak"
+
+    def test_zero_identifier_assigned(self):
+        a = Ipv6cp(seed=4)
+        from repro.ppp.options import ConfigOption
+
+        verdict = a.judge_option(ConfigOption(1, bytes(8)))
+        assert isinstance(verdict, tuple) and verdict[0] == "nak"
+        assert verdict[1].value_uint() != 0
+
+    def test_link_local_address(self):
+        a = Ipv6cp(Ipv6cpConfig(interface_id=0xAB), seed=5)
+        assert format_ipv6(a.link_local_address()).startswith("fe80:")
+
+    def test_random_id_nonzero(self):
+        assert Ipv6cp(seed=6).config.interface_id != 0
+
+
+class TestDualStack:
+    def _link(self):
+        a = PppEndpoint(
+            "A", LcpConfig(),
+            IpcpConfig(local_address=parse_ipv4("10.0.0.1"),
+                       assign_peer=parse_ipv4("10.0.0.2")),
+            magic_seed=1,
+        )
+        b = PppEndpoint("B", LcpConfig(), IpcpConfig(local_address=0), magic_seed=2)
+        v6a, v6b = a.add_ncp(Ipv6cp(seed=10)), b.add_ncp(Ipv6cp(seed=20))
+        connect_endpoints(a, b)
+        for _ in range(4):
+            b.receive_wire(a.pump())
+            a.receive_wire(b.pump())
+        return a, b, v6a, v6b
+
+    def test_both_ncps_open(self):
+        a, b, v6a, v6b = self._link()
+        assert a.network_ready()                     # IPv4
+        assert a.protocol_ready(PROTO_IPV6)          # IPv6
+        assert v6a.network_ready() and v6b.network_ready()
+
+    def test_simultaneous_datagram_flow(self):
+        """RFC 1661: 'simultaneous use of multiple network-layer
+        protocols' over one P5-style link."""
+        a, b, v6a, v6b = self._link()
+        d6 = Ipv6Datagram.build(
+            v6a.link_local_address(), v6b.link_local_address(), b"six"
+        )
+        assert a.send_datagram(b"E\x00four", 0x0021)
+        assert a.send_datagram(d6.encode(), PROTO_IPV6)
+        b.receive_wire(a.pump())
+        received = list(b.datagrams_in)
+        assert [p for p, _ in received] == [0x0021, PROTO_IPV6]
+        assert Ipv6Datagram.decode(received[1][1]).payload == b"six"
+
+    def test_ipv6_gated_until_its_ncp_opens(self):
+        a = PppEndpoint(
+            "A", LcpConfig(),
+            IpcpConfig(local_address=parse_ipv4("10.0.0.1"),
+                       assign_peer=parse_ipv4("10.0.0.2")),
+            magic_seed=3,
+        )
+        b = PppEndpoint("B", LcpConfig(), IpcpConfig(local_address=0), magic_seed=4)
+        connect_endpoints(a, b)   # no IPV6CP registered
+        assert a.network_ready()
+        assert not a.protocol_ready(PROTO_IPV6)
+        assert not a.send_datagram(b"six", PROTO_IPV6)
+
+    def test_late_ncp_addition(self):
+        """An NCP added after the link is up negotiates immediately."""
+        a = PppEndpoint(
+            "A", LcpConfig(),
+            IpcpConfig(local_address=parse_ipv4("10.0.0.1"),
+                       assign_peer=parse_ipv4("10.0.0.2")),
+            magic_seed=5,
+        )
+        b = PppEndpoint("B", LcpConfig(), IpcpConfig(local_address=0), magic_seed=6)
+        connect_endpoints(a, b)
+        v6a, v6b = a.add_ncp(Ipv6cp(seed=30)), b.add_ncp(Ipv6cp(seed=40))
+        for _ in range(5):
+            b.receive_wire(a.pump())
+            a.receive_wire(b.pump())
+        assert v6a.network_ready() and v6b.network_ready()

@@ -1,0 +1,144 @@
+"""Unit tests for MAPOS framing, addresses and the switch."""
+
+import pytest
+
+from repro.errors import ConfigError, FramingError
+from repro.hdlc import HdlcFramer
+from repro.mapos import (
+    BROADCAST_ADDRESS,
+    MAPOS_PROTO_IP,
+    MAPOS_PROTO_NSP,
+    MaposFrame,
+    MaposSwitch,
+    group_address,
+    is_broadcast,
+    is_group,
+    station_address,
+    unpack_address,
+)
+
+
+class TestAddresses:
+    def test_station_encoding(self):
+        """nnnnnnn1: LSB always set so addresses never alias the flag."""
+        assert station_address(1) == 0x03
+        assert station_address(5) == 0x0B
+        for n in range(1, 64):
+            assert station_address(n) & 1 == 1
+            assert station_address(n) != 0x7E
+
+    def test_station_bounds(self):
+        for bad in (0, 64, -1):
+            with pytest.raises(ValueError):
+                station_address(bad)
+
+    def test_group_encoding(self):
+        addr = group_address(3)
+        assert addr & 0x80 and addr & 1
+        assert is_group(addr)
+
+    def test_broadcast(self):
+        assert is_broadcast(BROADCAST_ADDRESS)
+        assert not is_group(BROADCAST_ADDRESS)
+
+    def test_unpack_round_trip(self):
+        for n in (1, 17, 63):
+            number, grp, bcast = unpack_address(station_address(n))
+            assert (number, grp, bcast) == (n, False, False)
+
+    def test_unpack_rejects_even(self):
+        with pytest.raises(ValueError):
+            unpack_address(0x7E)
+
+
+class TestFrame:
+    def test_encode_layout(self):
+        frame = MaposFrame(station_address(5), MAPOS_PROTO_IP, b"ip!")
+        assert frame.encode() == bytes([0x0B, 0x03, 0x00, 0x21]) + b"ip!"
+
+    def test_round_trip(self):
+        frame = MaposFrame(station_address(9), MAPOS_PROTO_NSP, b"assign")
+        assert MaposFrame.decode(frame.encode()) == frame
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FramingError):
+            MaposFrame.decode(b"\x03\x03")
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ValueError):
+            MaposFrame(0x7E, MAPOS_PROTO_IP)
+
+    def test_hdlc_transport(self):
+        """MAPOS frames ride the same HDLC framing as PPP (paper's
+        programmable-address compatibility claim)."""
+        framer = HdlcFramer()
+        frame = MaposFrame(station_address(2), MAPOS_PROTO_IP, bytes([0x7E] * 9))
+        wire = framer.encode(frame.encode())
+        assert MaposFrame.decode(framer.decode(wire).content) == frame
+
+
+class TestSwitch:
+    def _network(self, n=4):
+        switch = MaposSwitch()
+        ports = {i: switch.attach(i) for i in range(1, n + 1)}
+        return switch, ports
+
+    def test_address_assignment(self):
+        switch, ports = self._network()
+        assert ports[1].address == station_address(1)
+        assert ports[3].address == station_address(3)
+
+    def test_unicast_forwarding(self):
+        switch, ports = self._network()
+        frame = MaposFrame(ports[2].address, MAPOS_PROTO_IP, b"to 2")
+        delivered = switch.ingress(1, frame)
+        assert delivered == [2]
+        assert ports[2].inbox.popleft() == frame
+        assert not ports[3].inbox
+
+    def test_broadcast_excludes_sender(self):
+        switch, ports = self._network()
+        frame = MaposFrame(BROADCAST_ADDRESS, MAPOS_PROTO_IP, b"all")
+        delivered = switch.ingress(2, frame)
+        assert sorted(delivered) == [1, 3, 4]
+
+    def test_group_forwarding(self):
+        switch, ports = self._network()
+        group = group_address(7)
+        switch.join_group(1, group)
+        switch.join_group(3, group)
+        frame = MaposFrame(group, MAPOS_PROTO_IP, b"multicast")
+        delivered = switch.ingress(4, frame)
+        assert sorted(delivered) == [1, 3]
+
+    def test_unknown_unicast_dropped(self):
+        switch, ports = self._network()
+        frame = MaposFrame(station_address(60), MAPOS_PROTO_IP, b"nobody")
+        assert switch.ingress(1, frame) == []
+        assert switch.frames_dropped == 1
+
+    def test_self_addressed_dropped(self):
+        switch, ports = self._network()
+        frame = MaposFrame(ports[1].address, MAPOS_PROTO_IP, b"self")
+        assert switch.ingress(1, frame) == []
+
+    def test_duplicate_port_rejected(self):
+        switch, _ = self._network()
+        with pytest.raises(ConfigError):
+            switch.attach(1)
+
+    def test_join_group_validates(self):
+        switch, _ = self._network()
+        with pytest.raises(ConfigError):
+            switch.join_group(1, station_address(2))
+
+    def test_unknown_port_rejected(self):
+        switch, _ = self._network()
+        with pytest.raises(KeyError):
+            switch.ingress(99, MaposFrame(BROADCAST_ADDRESS, MAPOS_PROTO_IP))
+
+    def test_counters(self):
+        switch, ports = self._network()
+        switch.ingress(1, MaposFrame(ports[2].address, MAPOS_PROTO_IP))
+        assert switch.frames_switched == 1
+        assert ports[2].frames_forwarded == 1

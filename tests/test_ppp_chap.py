@@ -1,0 +1,162 @@
+"""Unit tests for CHAP (RFC 1994) and its session integration."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import NegotiationError, ProtocolError
+from repro.ppp import IpcpConfig, LcpConfig, LinkPhase, PppEndpoint, connect_endpoints
+from repro.ppp.chap import (
+    ChapAuthenticator,
+    ChapCode,
+    ChapPeer,
+    chap_response_value,
+)
+from repro.ppp.ipcp import parse_ipv4
+
+
+class TestHash:
+    def test_rfc_formula(self):
+        """MD5(id || secret || challenge), straight from RFC 1994 §2."""
+        value = chap_response_value(7, b"secret", b"challenge!")
+        assert value == hashlib.md5(b"\x07" + b"secret" + b"challenge!").digest()
+        assert len(value) == 16
+
+    def test_id_binding(self):
+        """Different identifiers give different responses (replay guard)."""
+        assert chap_response_value(1, b"s", b"c") != chap_response_value(2, b"s", b"c")
+
+
+class TestHandshake:
+    def _pair(self, secret_client=b"s3cret", **kw):
+        server = ChapAuthenticator({b"router9": b"s3cret"}, seed=1, **kw)
+        peer = ChapPeer(b"router9", secret_client)
+        return server, peer
+
+    def _exchange(self, server, peer, rounds=4):
+        server.start()
+        for _ in range(rounds):
+            for raw in server.drain_outbox():
+                peer.receive_packet(raw)
+            for raw in peer.drain_outbox():
+                server.receive_packet(raw)
+
+    def test_success(self):
+        server, peer = self._pair()
+        self._exchange(server, peer)
+        assert server.done and server.authenticated == b"router9"
+        assert peer.done
+
+    def test_secret_never_on_wire(self):
+        server, peer = self._pair()
+        server.start()
+        wire = []
+        for _ in range(3):
+            for raw in server.drain_outbox():
+                wire.append(raw)
+                peer.receive_packet(raw)
+            for raw in peer.drain_outbox():
+                wire.append(raw)
+                server.receive_packet(raw)
+        assert all(b"s3cret" not in raw for raw in wire)
+
+    def test_wrong_secret_fails(self):
+        server, peer = self._pair(secret_client=b"wrong")
+        self._exchange(server, peer, rounds=6)
+        assert not server.done and peer.failed
+        assert server.failures >= 1
+
+    def test_unknown_name_fails(self):
+        server = ChapAuthenticator({b"other": b"x"}, seed=2)
+        peer = ChapPeer(b"router9", b"x")
+        self._exchange(server, peer)
+        assert not server.done
+
+    def test_fresh_challenge_after_failure(self):
+        server, peer = self._pair(secret_client=b"wrong")
+        server.start()
+        first = server.drain_outbox()[0]
+        peer.receive_packet(first)
+        for raw in peer.drain_outbox():
+            server.receive_packet(raw)
+        out = server.drain_outbox()
+        challenges = [raw for raw in out if raw[0] == ChapCode.CHALLENGE]
+        assert challenges and challenges[0][5:21] != first[5:21]
+
+    def test_stale_response_ignored(self):
+        server, peer = self._pair()
+        server.start()
+        challenge = server.drain_outbox()[0]
+        peer.receive_packet(challenge)
+        response = bytearray(peer.drain_outbox()[0])
+        response[1] ^= 0x55   # wrong identifier
+        server.receive_packet(bytes(response))
+        assert not server.done
+
+    def test_replayed_response_rejected_after_rechallenge(self):
+        """A captured response is useless against a new challenge."""
+        server, peer = self._pair()
+        self._exchange(server, peer)
+        server.rechallenge()
+        challenge = server.drain_outbox()[0]
+        # Replay an old response value: compute against the OLD state.
+        old = chap_response_value(1, b"s3cret", b"not-the-challenge")
+        fake = bytes([ChapCode.RESPONSE, challenge[1]]) + (
+            4 + 1 + 16 + 7
+        ).to_bytes(2, "big") + bytes([16]) + old + b"router9"
+        server.receive_packet(fake)
+        assert not server.done
+
+    def test_truncated_packet_raises(self):
+        server, _ = self._pair()
+        server.start()
+        server.drain_outbox()
+        with pytest.raises(ProtocolError):
+            server.receive_packet(bytes([ChapCode.RESPONSE, 1, 0, 10, 50]))
+
+    def test_challenge_retransmission(self):
+        server, _ = self._pair()
+        server.start()
+        first = server.drain_outbox()
+        server.tick()
+        second = server.drain_outbox()
+        assert first == second   # same challenge value retransmitted
+
+
+class TestSessionIntegration:
+    def _endpoints(self, secret=b"s3cret"):
+        server = PppEndpoint(
+            "srv",
+            LcpConfig(),
+            IpcpConfig(local_address=parse_ipv4("10.0.0.1"),
+                       assign_peer=parse_ipv4("10.0.0.7")),
+            magic_seed=1,
+            auth_server=ChapAuthenticator({b"router9": b"s3cret"}, seed=9),
+        )
+        client = PppEndpoint(
+            "cli",
+            LcpConfig(),
+            IpcpConfig(local_address=0),
+            magic_seed=2,
+            auth_client=ChapPeer(b"router9", secret),
+        )
+        return server, client
+
+    def test_chap_bring_up(self):
+        server, client = self._endpoints()
+        rounds = connect_endpoints(server, client)
+        assert rounds < 20
+        assert server.phase is LinkPhase.NETWORK
+        assert server.auth_server.authenticated == b"router9"
+
+    def test_chap_failure_blocks(self):
+        server, client = self._endpoints(secret=b"WRONG")
+        with pytest.raises(NegotiationError):
+            connect_endpoints(server, client, max_rounds=12)
+        assert not client.network_ready()
+
+    def test_lcp_advertises_chap_with_md5(self):
+        server, _ = self._endpoints()
+        options = server.lcp.desired_options()
+        auth = [o for o in options if o.type == 3]
+        assert auth and auth[0].data == b"\xc2\x23\x05"

@@ -1,0 +1,173 @@
+"""Unit tests for the shared control-protocol machinery."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ppp.control import Code, ControlPacket, ControlProtocol
+from repro.ppp.fsm import State
+from repro.ppp.options import ConfigOption, mru_option, pack_options
+
+
+class TestPacketCodec:
+    def test_encode_layout(self):
+        pkt = ControlPacket(Code.CONFIGURE_REQUEST, 7, b"\x01\x04\x05\xdc")
+        raw = pkt.encode()
+        assert raw[0] == 1 and raw[1] == 7
+        assert int.from_bytes(raw[2:4], "big") == 8
+
+    def test_round_trip(self):
+        pkt = ControlPacket(Code.ECHO_REQUEST, 3, b"abcd")
+        assert ControlPacket.decode(pkt.encode()) == pkt
+
+    def test_padding_ignored(self):
+        pkt = ControlPacket(Code.CONFIGURE_ACK, 1, b"xy")
+        assert ControlPacket.decode(pkt.encode() + b"\x00\x00") == pkt
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(ProtocolError):
+            ControlPacket.decode(b"\x01\x02")
+
+    def test_inconsistent_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            ControlPacket.decode(b"\x01\x01\x00\xff")
+
+    def test_options_parse(self):
+        pkt = ControlPacket(1, 1, pack_options([mru_option(999)]))
+        assert pkt.options() == [mru_option(999)]
+
+
+class AckEverything(ControlProtocol):
+    """A minimal concrete protocol for machinery tests."""
+
+    protocol_number = 0x8099
+    name = "test-cp"
+
+    def desired_options(self):
+        return [ConfigOption(1, b"\x05\xdc")]
+
+    def judge_option(self, option):
+        return "ack"
+
+
+def bring_up(proto: ControlProtocol) -> None:
+    proto.fsm.open()
+    proto.fsm.up()
+
+
+class TestNegotiationMachinery:
+    def test_scr_queues_request(self):
+        proto = AckEverything()
+        bring_up(proto)
+        raw = proto.drain_outbox()
+        assert len(raw) == 1
+        pkt = ControlPacket.decode(raw[0])
+        assert pkt.code == Code.CONFIGURE_REQUEST
+        assert pkt.options() == [ConfigOption(1, b"\x05\xdc")]
+
+    def test_two_instances_converge(self):
+        a, b = AckEverything(), AckEverything()
+        bring_up(a)
+        bring_up(b)
+        for _ in range(4):
+            for raw in a.drain_outbox():
+                b.receive_packet(raw)
+            for raw in b.drain_outbox():
+                a.receive_packet(raw)
+        assert a.state is State.OPENED and b.state is State.OPENED
+        assert a.layer_up and b.layer_up
+        assert a.peer_options == {1: ConfigOption(1, b"\x05\xdc")}
+        assert a.local_options == {1: ConfigOption(1, b"\x05\xdc")}
+
+    def test_stale_ack_ignored(self):
+        proto = AckEverything()
+        bring_up(proto)
+        request = ControlPacket.decode(proto.drain_outbox()[0])
+        stale = ControlPacket(Code.CONFIGURE_ACK, request.identifier + 1, request.data)
+        proto.receive_packet(stale.encode())
+        assert proto.state is State.REQ_SENT   # unchanged
+
+    def test_mismatched_ack_options_ignored(self):
+        proto = AckEverything()
+        bring_up(proto)
+        request = ControlPacket.decode(proto.drain_outbox()[0])
+        wrong = ControlPacket(Code.CONFIGURE_ACK, request.identifier, b"")
+        proto.receive_packet(wrong.encode())
+        assert proto.state is State.REQ_SENT
+
+    def test_reject_prunes_option(self):
+        proto = AckEverything()
+        bring_up(proto)
+        request = ControlPacket.decode(proto.drain_outbox()[0])
+        reject = ControlPacket(Code.CONFIGURE_REJECT, request.identifier, request.data)
+        proto.receive_packet(reject.encode())
+        # New request must omit the rejected option.
+        new_request = ControlPacket.decode(proto.drain_outbox()[0])
+        assert new_request.code == Code.CONFIGURE_REQUEST
+        assert new_request.options() == []
+
+    def test_unknown_code_rejected(self):
+        proto = AckEverything()
+        bring_up(proto)
+        proto.drain_outbox()
+        proto.receive_packet(ControlPacket(99, 1, b"?").encode())
+        out = [ControlPacket.decode(r) for r in proto.drain_outbox()]
+        assert any(p.code == Code.CODE_REJECT for p in out)
+
+    def test_terminate_request_acked_with_same_id(self):
+        proto = AckEverything()
+        bring_up(proto)
+        proto.drain_outbox()
+        proto.receive_packet(ControlPacket(Code.TERMINATE_REQUEST, 0x55).encode())
+        out = [ControlPacket.decode(r) for r in proto.drain_outbox()]
+        acks = [p for p in out if p.code == Code.TERMINATE_ACK]
+        assert acks and acks[0].identifier == 0x55
+
+    def test_code_reject_of_configure_request_is_fatal(self):
+        proto = AckEverything()
+        bring_up(proto)
+        proto.drain_outbox()
+        reject = ControlPacket(
+            Code.CODE_REJECT, 9, bytes([Code.CONFIGURE_REQUEST, 0, 0, 4])
+        )
+        proto.receive_packet(reject.encode())
+        assert proto.state is State.STOPPED
+
+    def test_code_reject_of_optional_code_tolerated(self):
+        proto = AckEverything()
+        bring_up(proto)
+        proto.drain_outbox()
+        reject = ControlPacket(
+            Code.CODE_REJECT, 9, bytes([Code.ECHO_REQUEST, 0, 0, 4])
+        )
+        proto.receive_packet(reject.encode())
+        assert proto.state is State.REQ_SENT
+
+
+class NakOddMru(AckEverything):
+    """Naks MRUs below 1000 with 1000 (exercises the nak path)."""
+
+    def judge_option(self, option):
+        if option.type == 1 and option.value_uint() < 1000:
+            return ("nak", mru_option(1000))
+        return "ack"
+
+    def absorb_nak(self, option):
+        return option   # adopt the peer's suggestion verbatim
+
+
+class TestNakConvergence:
+    def test_nak_adopted_and_converges(self):
+        class SmallMru(NakOddMru):
+            def desired_options(self):
+                return [mru_option(500)]
+
+        a, b = SmallMru(), NakOddMru()
+        bring_up(a)
+        bring_up(b)
+        for _ in range(6):
+            for raw in a.drain_outbox():
+                b.receive_packet(raw)
+            for raw in b.drain_outbox():
+                a.receive_packet(raw)
+        assert a.state is State.OPENED and b.state is State.OPENED
+        assert a.local_options[1].value_uint() == 1000

@@ -1,0 +1,134 @@
+"""Unit tests for PPP encapsulation (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import FramingError
+from repro.ppp import PPPFrame
+from repro.ppp.protocol_numbers import (
+    PROTO_IPV4,
+    PROTO_LCP,
+    is_control_protocol,
+    is_network_layer,
+    is_valid_protocol,
+    pfc_compressible,
+    protocol_name,
+)
+
+
+class TestProtocolNumbers:
+    def test_well_known_values(self):
+        assert PROTO_IPV4 == 0x0021
+        assert PROTO_LCP == 0xC021
+
+    def test_validity_rule(self):
+        """LSB of low octet 1, LSB of high octet 0 (RFC 1661 §2)."""
+        assert is_valid_protocol(0x0021)
+        assert not is_valid_protocol(0x0022)   # even low octet
+        assert not is_valid_protocol(0x0121)   # odd high octet
+        assert not is_valid_protocol(0x10000)
+        assert not is_valid_protocol(-1)
+
+    def test_paper_network_vs_negotiation_split(self):
+        """Paper §2: 0-prefixed protocols are network layer, 1-prefixed
+        negotiate (LCP/NCP)."""
+        assert is_network_layer(PROTO_IPV4)
+        assert not is_network_layer(PROTO_LCP)
+        assert is_control_protocol(PROTO_LCP)
+        assert is_control_protocol(0x8021)
+
+    def test_pfc_rule(self):
+        assert pfc_compressible(0x0021)
+        assert not pfc_compressible(0xC021)
+
+    def test_names(self):
+        assert protocol_name(PROTO_LCP) == "LCP"
+        assert protocol_name(0x0FFF) == "unknown-0x0FFF"
+
+
+class TestEncode:
+    def test_default_header(self):
+        """Paper Figure 1: FF 03 then 2-byte protocol."""
+        wire = PPPFrame(protocol=PROTO_IPV4, information=b"ip").encode()
+        assert wire == b"\xff\x03\x00\x21ip"
+
+    def test_acfc_drops_header(self):
+        wire = PPPFrame(protocol=PROTO_IPV4, information=b"ip").encode(acfc=True)
+        assert wire == b"\x00\x21ip"
+
+    def test_pfc_shortens_protocol(self):
+        wire = PPPFrame(protocol=PROTO_IPV4).encode(pfc=True)
+        assert wire == b"\xff\x03\x21"
+
+    def test_pfc_ignored_for_wide_protocols(self):
+        wire = PPPFrame(protocol=PROTO_LCP).encode(pfc=True)
+        assert wire == b"\xff\x03\xc0\x21"
+
+    def test_acfc_not_applied_to_programmed_address(self):
+        """RFC 1662: non-default address/control must not compress."""
+        wire = PPPFrame(protocol=PROTO_IPV4, address=0x05).encode(acfc=True)
+        assert wire.startswith(b"\x05\x03")
+
+    def test_rejects_invalid_protocol(self):
+        with pytest.raises(ValueError):
+            PPPFrame(protocol=0x0022)
+
+    def test_rejects_bad_address(self):
+        with pytest.raises(ValueError):
+            PPPFrame(protocol=PROTO_IPV4, address=0x1FF)
+
+
+class TestDecode:
+    def test_round_trip_plain(self):
+        frame = PPPFrame(protocol=PROTO_IPV4, information=b"payload")
+        assert PPPFrame.decode(frame.encode()) == frame
+
+    def test_round_trip_all_compressions(self):
+        frame = PPPFrame(protocol=PROTO_IPV4, information=b"payload")
+        for acfc in (False, True):
+            for pfc in (False, True):
+                decoded = PPPFrame.decode(frame.encode(acfc=acfc, pfc=pfc))
+                assert decoded.protocol == frame.protocol
+                assert decoded.information == frame.information
+
+    def test_compressed_header_detected_automatically(self):
+        """Receivers must accept compressed frames at any time."""
+        assert PPPFrame.decode(b"\x21ip").protocol == PROTO_IPV4
+        assert PPPFrame.decode(b"\x00\x21ip").protocol == PROTO_IPV4
+
+    def test_programmed_address(self):
+        """The P5's programmable address matcher (MAPOS mode)."""
+        frame = PPPFrame(protocol=PROTO_IPV4, address=0x0B, information=b"x")
+        decoded = PPPFrame.decode(frame.encode(), expected_address=0x0B)
+        assert decoded.address == 0x0B
+
+    def test_promiscuous_decode(self):
+        frame = PPPFrame(protocol=PROTO_IPV4, address=0x0B, information=b"x")
+        decoded = PPPFrame.decode(frame.encode(), expected_address=None)
+        assert decoded.address == 0x0B
+
+    def test_empty_rejected(self):
+        with pytest.raises(FramingError):
+            PPPFrame.decode(b"")
+
+    def test_truncated_protocol_rejected(self):
+        with pytest.raises(FramingError):
+            PPPFrame.decode(b"\xff\x03\x00")
+
+    def test_malformed_protocol_rejected(self):
+        # Two-octet protocol 0x0222 has an even low octet: invalid.
+        with pytest.raises(FramingError):
+            PPPFrame.decode(b"\xff\x03\x02\x22")
+
+    def test_odd_first_octet_is_pfc(self):
+        # FF 03 01 21 is a *valid* PFC frame for protocol 0x0001 —
+        # the encoding rules make this unambiguous, not malformed.
+        frame = PPPFrame.decode(b"\xff\x03\x01\x21")
+        assert frame.protocol == 0x0001
+        assert frame.information == b"\x21"
+
+    def test_label(self):
+        assert PPPFrame(protocol=PROTO_LCP).protocol_label == "LCP"
+
+    def test_with_information(self):
+        frame = PPPFrame(protocol=PROTO_IPV4, information=b"a")
+        assert frame.with_information(b"bb").information == b"bb"

@@ -1,0 +1,199 @@
+"""Unit tests for the RFC 1661 negotiation automaton."""
+
+from typing import List
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ppp.fsm import Event, FsmActions, NegotiationFsm, State
+
+
+class RecordingActions(FsmActions):
+    """Test double recording the action sequence."""
+
+    def __init__(self):
+        self.calls: List[str] = []
+
+    def __getattribute__(self, name):
+        if name in ("tlu", "tld", "tls", "tlf", "scr", "sca", "scn",
+                    "str_", "sta", "scj", "ser"):
+            def record():
+                self.calls.append(name)
+            return record
+        return object.__getattribute__(self, name)
+
+
+@pytest.fixture
+def fsm():
+    actions = RecordingActions()
+    machine = NegotiationFsm(actions, name="test")
+    machine.actions_log = actions
+    return machine
+
+
+class TestHappyPath:
+    def test_initial_state(self, fsm):
+        assert fsm.state is State.INITIAL
+
+    def test_open_then_up(self, fsm):
+        fsm.open()
+        assert fsm.state is State.STARTING
+        assert fsm.actions_log.calls == ["tls"]
+        fsm.up()
+        assert fsm.state is State.REQ_SENT
+        assert fsm.actions_log.calls == ["tls", "scr"]
+        assert fsm.restart_counter == fsm.max_configure
+
+    def test_up_then_open(self, fsm):
+        fsm.up()
+        assert fsm.state is State.CLOSED
+        fsm.open()
+        assert fsm.state is State.REQ_SENT
+
+    def test_full_negotiation_we_ack_first(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RCR_PLUS)
+        assert fsm.state is State.ACK_SENT
+        fsm.receive(Event.RCA)
+        assert fsm.state is State.OPENED
+        assert fsm.is_opened
+        assert "tlu" in fsm.actions_log.calls
+
+    def test_full_negotiation_peer_acks_first(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RCA)
+        assert fsm.state is State.ACK_RCVD
+        fsm.receive(Event.RCR_PLUS)
+        assert fsm.state is State.OPENED
+
+
+class TestTimeouts:
+    def test_timeout_resends_request(self, fsm):
+        fsm.open()
+        fsm.up()
+        before = fsm.restart_counter
+        fsm.tick()
+        assert fsm.state is State.REQ_SENT
+        assert fsm.restart_counter == before - 1
+        assert fsm.actions_log.calls.count("scr") == 2
+
+    def test_counter_exhaustion_stops(self, fsm):
+        fsm.open()
+        fsm.up()
+        for _ in range(fsm.max_configure + 1):
+            fsm.tick()
+        assert fsm.state is State.STOPPED
+        assert "tlf" in fsm.actions_log.calls
+
+    def test_tick_noop_when_timer_stopped(self, fsm):
+        fsm.tick()
+        assert fsm.state is State.INITIAL
+
+    def test_timer_runs_only_in_unstable_states(self, fsm):
+        assert not fsm.timer_running
+        fsm.open()
+        fsm.up()
+        assert fsm.timer_running
+        fsm.receive(Event.RCR_PLUS)
+        fsm.receive(Event.RCA)
+        assert fsm.state is State.OPENED
+        assert not fsm.timer_running
+
+
+class TestTermination:
+    def _open(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RCR_PLUS)
+        fsm.receive(Event.RCA)
+
+    def test_close_sends_terminate(self, fsm):
+        self._open(fsm)
+        fsm.close()
+        assert fsm.state is State.CLOSING
+        assert "tld" in fsm.actions_log.calls
+        assert "str_" in fsm.actions_log.calls
+        assert fsm.restart_counter == fsm.max_terminate
+
+    def test_terminate_ack_finishes(self, fsm):
+        self._open(fsm)
+        fsm.close()
+        fsm.receive(Event.RTA)
+        assert fsm.state is State.CLOSED
+        assert "tlf" in fsm.actions_log.calls
+
+    def test_peer_terminate_in_opened(self, fsm):
+        self._open(fsm)
+        fsm.receive(Event.RTR)
+        assert fsm.state is State.STOPPING
+        assert "sta" in fsm.actions_log.calls
+        assert fsm.restart_counter == 0   # zrc
+
+    def test_down_from_opened(self, fsm):
+        self._open(fsm)
+        fsm.down()
+        assert fsm.state is State.STARTING
+        assert "tld" in fsm.actions_log.calls
+
+
+class TestErrorPaths:
+    def test_unknown_code_any_state(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RUC)
+        assert fsm.state is State.REQ_SENT
+        assert "scj" in fsm.actions_log.calls
+
+    def test_catastrophic_reject(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RXJ_MINUS)
+        assert fsm.state is State.STOPPED
+
+    def test_crossed_rca_in_ack_rcvd(self, fsm):
+        """RFC 1661 'crossed connection' note: RCA in Ack-Rcvd -> scr."""
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RCA)
+        fsm.receive(Event.RCA)
+        assert fsm.state is State.REQ_SENT
+
+    def test_impossible_event_raises(self, fsm):
+        with pytest.raises(ProtocolError):
+            fsm.receive(Event.RCA)   # in INITIAL
+
+    def test_receive_rejects_admin_events(self, fsm):
+        with pytest.raises(ValueError):
+            fsm.receive(Event.UP)
+
+    def test_history_recorded(self, fsm):
+        fsm.open()
+        fsm.up()
+        assert len(fsm.history) == 2
+        assert fsm.history[0].event is Event.OPEN
+        assert fsm.history[1].to_state is State.REQ_SENT
+
+
+class TestRenegotiation:
+    def test_rcr_in_opened_renegotiates(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RCR_PLUS)
+        fsm.receive(Event.RCA)
+        calls_before = list(fsm.actions_log.calls)
+        fsm.receive(Event.RCR_PLUS)
+        assert fsm.state is State.ACK_SENT
+        new_calls = fsm.actions_log.calls[len(calls_before):]
+        assert new_calls == ["tld", "scr", "sca"]
+
+    def test_echo_only_replied_in_opened(self, fsm):
+        fsm.open()
+        fsm.up()
+        fsm.receive(Event.RXR)
+        assert "ser" not in fsm.actions_log.calls
+        fsm.receive(Event.RCR_PLUS)
+        fsm.receive(Event.RCA)
+        fsm.receive(Event.RXR)
+        assert "ser" in fsm.actions_log.calls

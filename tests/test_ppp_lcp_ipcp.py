@@ -1,0 +1,204 @@
+"""Unit tests for LCP and IPCP behaviour."""
+
+import pytest
+
+from repro.ppp.control import Code, ControlPacket
+from repro.ppp.fsm import State
+from repro.ppp.ipcp import Ipcp, IpcpConfig, format_ipv4, parse_ipv4
+from repro.ppp.lcp import Lcp, LcpConfig
+from repro.ppp.magic import MagicNumberTracker
+from repro.ppp.options import (
+    FCS_32,
+    OPT_ACCM,
+    OPT_MAGIC_NUMBER,
+    OPT_MRU,
+    ConfigOption,
+    fcs_alternatives_option,
+    ip_address_option,
+    magic_number_option,
+    mru_option,
+)
+
+
+def converge(a, b, rounds=8):
+    a.fsm.open(); a.fsm.up()
+    b.fsm.open(); b.fsm.up()
+    for _ in range(rounds):
+        for raw in a.drain_outbox():
+            b.receive_packet(raw)
+        for raw in b.drain_outbox():
+            a.receive_packet(raw)
+    return a.state is State.OPENED and b.state is State.OPENED
+
+
+class TestLcpNegotiation:
+    def test_plain_link_opens(self):
+        a, b = Lcp(magic_seed=1), Lcp(magic_seed=2)
+        assert converge(a, b)
+
+    def test_magic_numbers_exchanged(self):
+        a, b = Lcp(magic_seed=1), Lcp(magic_seed=2)
+        converge(a, b)
+        assert OPT_MAGIC_NUMBER in a.local_options
+        assert a.peer_options[OPT_MAGIC_NUMBER].value_uint() == b.magic.local_magic
+
+    def test_nonstandard_mru_negotiated(self):
+        a = Lcp(LcpConfig(mru=4470), magic_seed=1)   # classic POS MTU
+        b = Lcp(magic_seed=2)
+        converge(a, b)
+        assert b.negotiated_mru() == 4470
+
+    def test_mru_below_peer_floor_naked(self):
+        a = Lcp(LcpConfig(mru=64), magic_seed=1)
+        b = Lcp(LcpConfig(min_peer_mru=128), magic_seed=2)
+        converge(a, b)
+        # A adopted B's floor.
+        assert a.config.mru == 128
+        assert b.negotiated_mru() == 128
+
+    def test_fcs_alternatives(self):
+        a = Lcp(LcpConfig(fcs_flags=FCS_32), magic_seed=1)
+        b = Lcp(magic_seed=2)
+        converge(a, b)
+        assert a.negotiated_fcs_flags() == FCS_32
+
+    def test_pfc_acfc(self):
+        a = Lcp(LcpConfig(request_pfc=True, request_acfc=True), magic_seed=1)
+        b = Lcp(magic_seed=2)
+        converge(a, b)
+        assert a.peer_accepted_pfc() and a.peer_accepted_acfc()
+
+    def test_unknown_option_rejected(self):
+        lcp = Lcp(magic_seed=1)
+        lcp.fsm.open(); lcp.fsm.up()
+        lcp.drain_outbox()
+        request = ControlPacket(
+            Code.CONFIGURE_REQUEST, 9, ConfigOption(0x42, b"??").encode()
+        )
+        lcp.receive_packet(request.encode())
+        out = [ControlPacket.decode(r) for r in lcp.drain_outbox()]
+        rejects = [p for p in out if p.code == Code.CONFIGURE_REJECT]
+        assert rejects and rejects[0].options()[0].type == 0x42
+
+    def test_zero_magic_naked(self):
+        lcp = Lcp(magic_seed=1)
+        lcp.fsm.open(); lcp.fsm.up()
+        lcp.drain_outbox()
+        request = ControlPacket(
+            Code.CONFIGURE_REQUEST, 9, magic_number_option(0).encode()
+        )
+        lcp.receive_packet(request.encode())
+        out = [ControlPacket.decode(r) for r in lcp.drain_outbox()]
+        naks = [p for p in out if p.code == Code.CONFIGURE_NAK]
+        assert naks and naks[0].options()[0].value_uint() != 0
+
+
+class TestEcho:
+    def _opened_pair(self):
+        a, b = Lcp(magic_seed=1), Lcp(magic_seed=2)
+        assert converge(a, b)
+        return a, b
+
+    def test_echo_round_trip(self):
+        a, b = self._opened_pair()
+        a.send_echo_request(b"probe")
+        for raw in a.drain_outbox():
+            b.receive_packet(raw)
+        for raw in b.drain_outbox():
+            a.receive_packet(raw)
+        assert b.echo_requests_seen == 1
+        assert a.echo_replies_seen == 1
+
+    def test_echo_ignored_when_not_opened(self):
+        lcp = Lcp(magic_seed=1)
+        lcp.send_echo_request(b"probe")
+        assert lcp.drain_outbox() == []
+
+    def test_protocol_reject_recorded(self):
+        a, b = self._opened_pair()
+        a.send_protocol_reject(0x002B, b"ipx stuff")
+        for raw in a.drain_outbox():
+            b.receive_packet(raw)
+        assert b.protocol_rejects == [0x002B]
+        assert b.state is State.OPENED   # tolerable
+
+
+class TestMagicTracker:
+    def test_nonzero(self):
+        assert MagicNumberTracker(seed=5).local_magic != 0
+
+    def test_loop_detection_threshold(self):
+        tracker = MagicNumberTracker(seed=5)
+        for _ in range(MagicNumberTracker.LOOP_THRESHOLD):
+            assert tracker.observe_peer_magic(tracker.local_magic)
+        assert tracker.looped
+        assert tracker.loops_detected == 1
+
+    def test_evidence_resets_on_foreign_magic(self):
+        tracker = MagicNumberTracker(seed=5)
+        tracker.observe_peer_magic(tracker.local_magic)
+        tracker.observe_peer_magic(tracker.local_magic ^ 1)
+        assert tracker.loop_evidence == 0
+        assert not tracker.looped
+
+    def test_renumber_changes_magic(self):
+        tracker = MagicNumberTracker(seed=5)
+        old = tracker.local_magic
+        assert tracker.renumber() != old
+
+
+class TestLoopbackViaLcp:
+    def test_looped_link_detected(self):
+        """An endpoint receiving its own Conf-Req naks the magic."""
+        lcp = Lcp(magic_seed=7)
+        lcp.fsm.open(); lcp.fsm.up()
+        request = ControlPacket.decode(lcp.drain_outbox()[0])
+        # Loop the request straight back.
+        lcp.receive_packet(request.encode())
+        out = [ControlPacket.decode(r) for r in lcp.drain_outbox()]
+        naks = [p for p in out if p.code == Code.CONFIGURE_NAK]
+        assert naks, "own magic must be Config-Naked"
+
+
+class TestIpv4Helpers:
+    def test_parse_format_round_trip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_bad(self):
+        for bad in ("1.2.3", "1.2.3.256", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+
+class TestIpcp:
+    def test_static_addresses(self):
+        a = Ipcp(IpcpConfig(local_address=parse_ipv4("10.0.0.1")))
+        b = Ipcp(IpcpConfig(local_address=parse_ipv4("10.0.0.2")))
+        assert converge(a, b)
+        assert a.peer_address_str == "10.0.0.2"
+        assert b.peer_address_str == "10.0.0.1"
+
+    def test_address_assignment(self):
+        server = Ipcp(
+            IpcpConfig(
+                local_address=parse_ipv4("10.0.0.1"),
+                assign_peer=parse_ipv4("10.0.0.99"),
+            )
+        )
+        client = Ipcp(IpcpConfig(local_address=0))
+        assert converge(server, client)
+        assert client.local_address_str == "10.0.0.99"
+        assert server.peer_address_str == "10.0.0.99"
+
+    def test_unnumbered_peer_rejected_without_pool(self):
+        server = Ipcp(IpcpConfig(local_address=parse_ipv4("10.0.0.1")))
+        client = Ipcp(IpcpConfig(local_address=0))
+        converge(server, client, rounds=4)
+        # Client's address option was rejected; the link can still open
+        # with an empty client request, but no address was assigned.
+        assert client.config.local_address == 0
+
+    def test_network_ready_gating(self):
+        ncp = Ipcp(IpcpConfig(local_address=parse_ipv4("10.0.0.1")))
+        assert not ncp.network_ready()

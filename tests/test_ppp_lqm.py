@@ -1,0 +1,82 @@
+"""Unit tests for Link Quality Monitoring (RFC 1333 LQR)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ppp.lqm import LinkQualityMonitor, LqrPacket
+
+
+class TestPacketCodec:
+    def test_round_trip(self):
+        packet = LqrPacket(
+            magic=0xDEADBEEF,
+            last_out_lqrs=1,
+            last_out_packets=100,
+            last_out_octets=5000,
+            peer_in_packets=98,
+        )
+        assert LqrPacket.decode(packet.encode()) == packet
+
+    def test_fixed_size(self):
+        assert len(LqrPacket().encode()) == 48
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ProtocolError):
+            LqrPacket.decode(bytes(47))
+
+    def test_counter_wrap_masked(self):
+        packet = LqrPacket(last_out_octets=1 << 33)
+        assert LqrPacket.decode(packet.encode()).last_out_octets == (1 << 33) % (1 << 32)
+
+
+def run_intervals(loss: float, *, intervals: int = 4, per_interval: int = 200, seed=1):
+    """A sends traffic to B; both exchange LQRs each interval."""
+    rng = np.random.default_rng(seed)
+    a = LinkQualityMonitor(magic=1, quality_threshold=0.05)
+    b = LinkQualityMonitor(magic=2, quality_threshold=0.05)
+    for _ in range(intervals):
+        for _ in range(per_interval):
+            a.count_tx(400)
+            if rng.random() >= loss:
+                b.count_rx(400)
+            else:
+                b.count_rx_error()
+        b.receive_report(a.build_report())
+        a.receive_report(b.build_report())
+    return a, b
+
+
+class TestLossMeasurement:
+    def test_clean_link_healthy(self):
+        a, b = run_intervals(0.0)
+        assert a.healthy and b.healthy
+        assert all(v.outbound_loss == 0.0 for v in a.verdicts)
+
+    def test_loss_measured_accurately(self):
+        a, _ = run_intervals(0.2, per_interval=2000)
+        measured = a.verdicts[-1].outbound_loss
+        assert measured == pytest.approx(0.2, abs=0.04)
+
+    def test_threshold_trips(self):
+        a, _ = run_intervals(0.2)
+        assert not a.healthy
+
+    def test_first_report_gives_no_verdict(self):
+        a = LinkQualityMonitor(magic=1)
+        b = LinkQualityMonitor(magic=2)
+        assert b.receive_report(a.build_report()) is None
+
+    def test_interval_counters(self):
+        a, b = run_intervals(0.0, intervals=3)
+        assert len(a.verdicts) == 2   # first exchange only primes state
+        assert a.out_lqrs == 3 and a.in_lqrs == 3
+
+    def test_error_counter_carried(self):
+        _, b = run_intervals(0.3)
+        assert b.in_errors > 0
+        report = LqrPacket.decode(b.build_report())
+        assert report.peer_in_errors == b.in_errors
+
+    def test_healthy_before_any_verdict(self):
+        assert LinkQualityMonitor().healthy

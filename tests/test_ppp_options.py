@@ -1,0 +1,85 @@
+"""Unit tests for configure-option TLVs."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ppp.options import (
+    FCS_16,
+    FCS_32,
+    ConfigOption,
+    accm_option,
+    acfc_option,
+    fcs_alternatives_option,
+    ip_address_option,
+    magic_number_option,
+    mru_option,
+    pack_options,
+    pfc_option,
+    unpack_options,
+)
+
+
+class TestTlvCodec:
+    def test_encode_layout(self):
+        opt = ConfigOption(1, b"\x05\xdc")
+        assert opt.encode() == b"\x01\x04\x05\xdc"
+
+    def test_empty_data(self):
+        assert ConfigOption(7).encode() == b"\x07\x02"
+
+    def test_round_trip(self):
+        options = [mru_option(1400), pfc_option(), magic_number_option(0xDEADBEEF)]
+        assert unpack_options(pack_options(options)) == options
+
+    def test_unpack_empty(self):
+        assert unpack_options(b"") == []
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_options(b"\x01")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_options(b"\x01\x01")
+
+    def test_overrun_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_options(b"\x01\x08\x00\x00")
+
+    def test_value_uint(self):
+        assert mru_option(1500).value_uint() == 1500
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ValueError):
+            ConfigOption(300)
+
+
+class TestTypedHelpers:
+    def test_mru_bounds(self):
+        with pytest.raises(ValueError):
+            mru_option(70000)
+
+    def test_accm_bounds(self):
+        with pytest.raises(ValueError):
+            accm_option(1 << 33)
+
+    def test_magic_bounds(self):
+        with pytest.raises(ValueError):
+            magic_number_option(1 << 32)
+
+    def test_boolean_options_empty(self):
+        assert pfc_option().data == b""
+        assert acfc_option().data == b""
+
+    def test_fcs_flags(self):
+        assert fcs_alternatives_option(FCS_32).data == bytes([FCS_32])
+        assert fcs_alternatives_option(FCS_16 | FCS_32).data == bytes([0x06])
+
+    def test_fcs_flags_validated(self):
+        with pytest.raises(ValueError):
+            fcs_alternatives_option(0)
+        with pytest.raises(ValueError):
+            fcs_alternatives_option(0x80)
+
+    def test_ip_address(self):
+        assert ip_address_option(0x0A000001).data == b"\x0a\x00\x00\x01"

@@ -1,0 +1,155 @@
+"""Unit tests for PAP and the RFC 1661 Authenticate phase."""
+
+import pytest
+
+from repro.errors import NegotiationError, ProtocolError
+from repro.ppp import IpcpConfig, LcpConfig, LinkPhase, PppEndpoint, connect_endpoints
+from repro.ppp.ipcp import parse_ipv4
+from repro.ppp.pap import (
+    PapAuthenticator,
+    PapClient,
+    PapCode,
+    encode_auth_request,
+)
+
+
+class TestPapCodec:
+    def test_request_layout(self):
+        raw = encode_auth_request(7, b"alice", b"pw")
+        assert raw[0] == PapCode.AUTHENTICATE_REQUEST and raw[1] == 7
+        assert int.from_bytes(raw[2:4], "big") == len(raw)
+        assert raw[4] == 5 and raw[5:10] == b"alice"
+        assert raw[10] == 2 and raw[11:13] == b"pw"
+
+    def test_length_limits(self):
+        with pytest.raises(ValueError):
+            encode_auth_request(1, b"x" * 256, b"pw")
+
+
+class TestAuthenticatorClient:
+    def test_successful_auth(self):
+        server = PapAuthenticator({b"alice": b"secret"})
+        client = PapClient(b"alice", b"secret")
+        client.start()
+        for raw in client.drain_outbox():
+            server.receive_packet(raw)
+        assert server.done and server.authenticated == b"alice"
+        for raw in server.drain_outbox():
+            client.receive_packet(raw)
+        assert client.done
+
+    def test_wrong_password_naked(self):
+        server = PapAuthenticator({b"alice": b"secret"})
+        client = PapClient(b"alice", b"nope")
+        client.start()
+        for raw in client.drain_outbox():
+            server.receive_packet(raw)
+        assert not server.done and server.failures == 1
+        for raw in server.drain_outbox():
+            client.receive_packet(raw)
+        assert client.failed and not client.done
+
+    def test_unknown_user(self):
+        server = PapAuthenticator({b"alice": b"secret"})
+        client = PapClient(b"mallory", b"secret")
+        client.start()
+        for raw in client.drain_outbox():
+            server.receive_packet(raw)
+        assert not server.done
+
+    def test_retransmission_on_silence(self):
+        client = PapClient(b"alice", b"secret", max_retries=3)
+        client.start()
+        client.drain_outbox()
+        client.tick()
+        assert len(client.drain_outbox()) == 1
+
+    def test_gives_up_after_retries(self):
+        client = PapClient(b"alice", b"secret", max_retries=2)
+        client.start()
+        for _ in range(5):
+            client.tick()
+        assert client.failed
+
+    def test_stale_identifier_ignored(self):
+        server = PapAuthenticator({b"a": b"b"})
+        client = PapClient(b"a", b"b")
+        client.start()
+        request = client.drain_outbox()[0]
+        server.receive_packet(request)
+        ack = bytearray(server.drain_outbox()[0])
+        ack[1] ^= 0xFF   # wrong identifier
+        client.receive_packet(bytes(ack))
+        assert not client.done
+
+    def test_truncated_request_raises(self):
+        server = PapAuthenticator({})
+        with pytest.raises(ProtocolError):
+            server.receive_packet(bytes([1, 1, 0, 6, 5, 65]))
+
+
+def _endpoints(password=b"secret"):
+    server = PppEndpoint(
+        "srv",
+        LcpConfig(),
+        IpcpConfig(local_address=parse_ipv4("10.0.0.1"),
+                   assign_peer=parse_ipv4("10.0.0.9")),
+        magic_seed=1,
+        pap_server=PapAuthenticator({b"alice": b"secret"}),
+    )
+    client = PppEndpoint(
+        "cli",
+        LcpConfig(),
+        IpcpConfig(local_address=0),
+        magic_seed=2,
+        pap_client=PapClient(b"alice", password),
+    )
+    return server, client
+
+
+class TestAuthenticatePhase:
+    def test_full_bring_up_with_auth(self):
+        server, client = _endpoints()
+        rounds = connect_endpoints(server, client)
+        assert rounds < 20
+        assert server.phase is LinkPhase.NETWORK
+        assert server.pap_server.authenticated == b"alice"
+        assert client.ipcp.local_address_str == "10.0.0.9"
+
+    def test_network_gated_until_auth(self):
+        server, client = _endpoints()
+        server.open(); client.open()
+        server.lower_up(); client.lower_up()
+        # Run only until LCP opens, before PAP completes.
+        for _ in range(3):
+            client.receive_wire(server.pump())
+            server.receive_wire(client.pump())
+            if server.lcp.layer_up:
+                break
+        if server.lcp.layer_up and not server.pap_server.done:
+            assert server.phase is LinkPhase.AUTHENTICATE
+            assert not server.network_ready()
+
+    def test_bad_password_blocks_network(self):
+        server, client = _endpoints(password=b"wrong")
+        with pytest.raises(NegotiationError):
+            connect_endpoints(server, client, max_rounds=12)
+        assert server.phase is LinkPhase.AUTHENTICATE
+        assert not client.network_ready()
+        assert client.pap_client.failed
+
+    def test_no_auth_configured_skips_phase(self):
+        a = PppEndpoint("a", LcpConfig(),
+                        IpcpConfig(local_address=parse_ipv4("1.1.1.1")),
+                        magic_seed=3)
+        b = PppEndpoint("b", LcpConfig(),
+                        IpcpConfig(local_address=parse_ipv4("1.1.1.2")),
+                        magic_seed=4)
+        connect_endpoints(a, b)
+        assert a.phase is LinkPhase.NETWORK
+
+    def test_datagrams_blocked_during_auth(self):
+        server, client = _endpoints()
+        server.open(); client.open()
+        server.lower_up(); client.lower_up()
+        assert not client.send_datagram(b"too early")

@@ -1,0 +1,104 @@
+"""Soak test: a long duplex run with cross-checked global accounting.
+
+One sustained exchange, then every conservation law the system implies
+is asserted across *both* stations' OAM counters — the kind of
+consistency audit a hardware bring-up lab runs overnight.
+"""
+
+import pytest
+
+from repro.core import P5Config, run_duplex_exchange
+from repro.hdlc import stuff
+from repro.workloads import ppp_frame_contents
+
+
+@pytest.fixture(scope="module")
+def soak_result():
+    frames_ab = ppp_frame_contents(40, seed=101)
+    frames_ba = ppp_frame_contents(40, seed=202)
+    result = run_duplex_exchange(
+        frames_ab, frames_ba, P5Config.thirty_two_bit(), timeout=2_000_000
+    )
+    return result, frames_ab, frames_ba
+
+
+class TestConservationLaws:
+    def test_every_frame_delivered_exactly_once(self, soak_result):
+        result, frames_ab, frames_ba = soak_result
+        assert [c for c, _ in result.b_received] == frames_ab
+        assert [c for c, _ in result.a_received] == frames_ba
+
+    def test_tx_equals_rx_frame_counts(self, soak_result):
+        result, frames_ab, frames_ba = soak_result
+        assert result.a.tx.flags.frames_wrapped == len(frames_ab)
+        assert result.b.rx.crc.frames_ok == len(frames_ab)
+        assert result.b.rx.delineator.frames_delineated == len(frames_ab)
+
+    def test_escapes_inserted_equals_deleted(self, soak_result):
+        result, *_ = soak_result
+        assert (
+            result.a.tx.escape.octets_escaped
+            == result.b.rx.escape.octets_deleted
+        )
+        assert (
+            result.b.tx.escape.octets_escaped
+            == result.a.rx.escape.octets_deleted
+        )
+
+    def test_escape_count_matches_software_model(self, soak_result):
+        result, frames_ab, _ = soak_result
+        fcs = result.a.tx.config.fcs
+        from repro.crc import TableCrc
+
+        expected = 0
+        for content in frames_ab:
+            trailer = TableCrc(fcs).compute(content).to_bytes(4, "little")
+            expected += len(stuff(content + trailer)) - len(content) - 4
+        assert result.a.tx.escape.octets_escaped == expected
+
+    def test_wire_byte_conservation(self, soak_result):
+        """Wire bytes = content + FCS + escapes + 2 flags per frame."""
+        result, frames_ab, _ = soak_result
+        tx = result.a.tx
+        content_bytes = sum(len(f) for f in frames_ab)
+        fcs_bytes = 4 * len(frames_ab)
+        expected_wire = (
+            content_bytes + fcs_bytes + tx.escape.octets_escaped
+            + tx.flags.flags_inserted
+        )
+        assert tx.escape.bytes_out == content_bytes + fcs_bytes + tx.escape.octets_escaped
+        assert tx.flags.flags_inserted == 2 * len(frames_ab)
+        # The receiver's hunt discarded nothing on a clean link.
+        assert result.b.rx.delineator.octets_discarded_hunting == 0
+        assert expected_wire == tx.escape.bytes_out + tx.flags.flags_inserted
+
+    def test_no_errors_anywhere(self, soak_result):
+        result, *_ = soak_result
+        for system in (result.a, result.b):
+            assert system.rx.crc.fcs_errors == 0
+            assert system.rx.crc.runt_frames == 0
+            assert system.rx.escape.dangling_escape_errors == 0
+
+    def test_resync_bounded_all_run(self, soak_result):
+        result, *_ = soak_result
+        for system in (result.a, result.b):
+            assert system.tx.escape.max_resync_occupancy <= 3
+            assert system.rx.escape.max_resync_occupancy <= 3
+
+    def test_oam_matches_module_counters(self, soak_result):
+        result, frames_ab, _ = soak_result
+        oam = result.a.oam
+        assert oam.regs.read_name("TX_FRAMES") == len(frames_ab)
+        assert oam.regs.read_name("ESC_INSERTED") == result.a.tx.escape.octets_escaped
+
+
+class TestThroughputEnvelope:
+    def test_cycles_within_theoretical_envelope(self, soak_result):
+        """Total cycles is bounded below by wire bytes / W and above by
+        a small multiple (pipeline fills + frame boundaries)."""
+        result, frames_ab, frames_ba = soak_result
+        tx = result.a.tx
+        wire_bytes = tx.escape.bytes_out + tx.flags.flags_inserted
+        floor = wire_bytes / 4
+        assert result.cycles >= floor
+        assert result.cycles <= 2.0 * floor + 500

@@ -1,0 +1,231 @@
+"""Unit tests for the synthesis cost model (primitives, area, timing)."""
+
+import pytest
+
+from repro.core.config import P5Config
+from repro.errors import DeviceCapacityError
+from repro.synth import (
+    DEVICES,
+    Netlist,
+    analyze_timing,
+    crc_unit_area,
+    delineator_area,
+    escape_detect_area,
+    escape_generate_area,
+    get_device,
+    synthesize,
+    system_area,
+    transmitter_area,
+    receiver_area,
+)
+from repro.synth.primitives import (
+    clog2,
+    clog4,
+    eq_const_comparator_luts,
+    mux_luts,
+    xor_tree_depth,
+    xor_tree_luts,
+)
+from repro.synth.report import format_table
+
+
+class TestPrimitives:
+    def test_xor_tree_counts(self):
+        assert xor_tree_luts(1) == 0
+        assert xor_tree_luts(4) == 1
+        assert xor_tree_luts(5) == 2
+        assert xor_tree_luts(16) == 5
+
+    def test_xor_tree_depth(self):
+        assert xor_tree_depth(4) == 1
+        assert xor_tree_depth(5) == 2
+        assert xor_tree_depth(64) == 3
+
+    def test_mux(self):
+        assert mux_luts(1) == 0
+        assert mux_luts(4, 8) == 8
+        assert mux_luts(2, 1) == 1
+
+    def test_logs(self):
+        assert clog2(1) == 0 and clog2(8) == 3 and clog2(9) == 4
+        assert clog4(1) == 0 and clog4(4) == 1 and clog4(5) == 2
+
+    def test_comparator(self):
+        assert eq_const_comparator_luts(8) == 3
+
+
+class TestNetlist:
+    def test_totals(self):
+        n = Netlist("x")
+        n.add("a", luts=3, ffs=2, depth=2)
+        n.add("b", luts=5, ffs=1, depth=4)
+        assert n.luts == 8 and n.ffs == 3 and n.depth == 4
+
+    def test_merge_prefix(self):
+        outer, inner = Netlist("sys"), Netlist("sub")
+        inner.add("x", luts=1)
+        outer.merge(inner, "tx")
+        assert outer.entries[0].name == "tx/x"
+
+    def test_by_group(self):
+        n = Netlist("x")
+        n.add("tx/a", luts=1, depth=1)
+        n.add("tx/b", luts=2, depth=3)
+        n.add("rx/c", luts=4)
+        groups = n.by_group()
+        assert groups["tx"] == {"luts": 3, "ffs": 0, "depth": 3}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Netlist("x").add("bad", luts=-1)
+
+    def test_table_renders(self):
+        n = Netlist("x")
+        n.add("tx/a", luts=1)
+        assert "TOTAL" in n.table()
+
+
+class TestDevices:
+    def test_library(self):
+        assert set(DEVICES) == {"XCV50-4", "XCV600-4", "XC2V40-6", "XC2V1000-6"}
+
+    def test_xc2v40_is_512_luts(self):
+        """The capacity that makes the paper's percentages consistent."""
+        assert get_device("XC2V40-6").luts == 512
+
+    def test_virtex_ii_faster_per_level(self):
+        """Paper: 'delay at each LUT is slightly greater with Virtex'."""
+        assert (
+            get_device("XC2V1000-6").lut_delay_ns
+            < get_device("XCV600-4").lut_delay_ns
+        )
+
+    def test_post_layout_slower_than_pre(self):
+        dev = get_device("XC2V1000-6")
+        assert dev.fmax_mhz(6, post_layout=True) < dev.fmax_mhz(6, post_layout=False)
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("XC7Z020")
+
+
+class TestPaperAnchors:
+    """The calibration targets from the paper's tables and text."""
+
+    def test_table3_8bit_escape_generate(self):
+        """Paper Table 3: 22 LUTs, 6 FFs."""
+        n = escape_generate_area(P5Config.eight_bit())
+        assert n.luts == 22 and n.ffs == 6
+
+    def test_table3_32bit_escape_generate(self):
+        """Paper Table 3: 492 LUTs, 168 FFs (ours within ~3 %)."""
+        n = escape_generate_area(P5Config.thirty_two_bit())
+        assert abs(n.luts - 492) / 492 < 0.05
+        assert abs(n.ffs - 168) / 168 < 0.05
+
+    def test_escape_generate_ratios(self):
+        """Paper: '25 times more combinational logic and 28 times as
+        many flip-flops'."""
+        small = escape_generate_area(P5Config.eight_bit())
+        big = escape_generate_area(P5Config.thirty_two_bit())
+        assert 20 <= big.luts / small.luts <= 28
+        assert 24 <= big.ffs / small.ffs <= 32
+
+    def test_system_ratio_about_11x(self):
+        """Paper: 'The 32-bit P5 is approximately 11 times larger'."""
+        small = system_area(P5Config.eight_bit())
+        big = system_area(P5Config.thirty_two_bit())
+        assert 9 <= big.luts / small.luts <= 13
+
+    def test_not_4x(self):
+        """The headline observation: width x4 but area much more."""
+        small = system_area(P5Config.eight_bit())
+        big = system_area(P5Config.thirty_two_bit())
+        assert big.luts / small.luts > 2 * 4
+
+    def test_sorter_dominates_growth(self):
+        """'mainly due to the byte sorter and buffering mechanisms'."""
+        big = escape_generate_area(P5Config.thirty_two_bit())
+        groups = {e.name: e.luts for e in big.entries}
+        sorter = groups["sorter_mux"] + groups["sorter_decision"]
+        assert sorter / big.luts > 0.5
+
+    def test_32bit_fits_25pct_of_xc2v1000(self):
+        """Paper: 'approximately 25% of the resources of a XC2V-1000'."""
+        report = synthesize(system_area(P5Config.thirty_two_bit()), "XC2V1000-6")
+        assert 15 <= report.lut_pct <= 30
+
+    def test_critical_path_6_levels(self):
+        """Paper: 'passes through 6 [LUTs]' for the 32-bit system."""
+        assert system_area(P5Config.thirty_two_bit()).depth == 6
+
+    def test_only_virtex_ii_meets_78mhz(self):
+        """Paper: speed requirements met with Virtex-II technology."""
+        netlist = system_area(P5Config.thirty_two_bit())
+        virtex = analyze_timing(netlist, get_device("XCV600-4"))
+        virtex2 = analyze_timing(netlist, get_device("XC2V1000-6"))
+        assert not virtex.meets(78.125)
+        assert virtex2.meets(78.125)
+
+    def test_critical_path_device_independent(self):
+        """'the critical path is the same for each device'."""
+        netlist = system_area(P5Config.thirty_two_bit())
+        levels = {
+            analyze_timing(netlist, get_device(d)).levels
+            for d in ("XCV600-4", "XC2V1000-6")
+        }
+        assert len(levels) == 1
+
+
+class TestScaling:
+    def test_area_monotonic_in_width(self):
+        areas = [
+            system_area(P5Config(width_bits=w)).luts for w in (8, 16, 32, 64)
+        ]
+        assert areas == sorted(areas)
+
+    def test_escape_detect_comparable_to_generate(self):
+        cfg = P5Config.thirty_two_bit()
+        gen, det = escape_generate_area(cfg), escape_detect_area(cfg)
+        assert 0.7 <= det.luts / gen.luts <= 1.3
+
+    def test_crc_partial_width_forests_only_above_8bit(self):
+        c8 = crc_unit_area(P5Config.eight_bit(), "generate")
+        c32 = crc_unit_area(P5Config.thirty_two_bit(), "generate")
+        names8 = {e.name for e in c8.entries}
+        names32 = {e.name for e in c32.entries}
+        assert "forest_partials" not in names8
+        assert "forest_partials" in names32
+
+    def test_delineator_grows_with_width(self):
+        d8 = delineator_area(P5Config.eight_bit())
+        d32 = delineator_area(P5Config.thirty_two_bit())
+        assert d32.luts > 5 * d8.luts
+
+    def test_tx_rx_composition(self):
+        cfg = P5Config.thirty_two_bit()
+        total = system_area(cfg, include_oam=False)
+        assert total.luts == transmitter_area(cfg).luts + receiver_area(cfg).luts
+
+
+class TestFitter:
+    def test_capacity_enforced(self):
+        big = system_area(P5Config.thirty_two_bit())
+        with pytest.raises(DeviceCapacityError):
+            synthesize(big, "XC2V40-6")   # 512 LUTs cannot hold 2k
+
+    def test_allow_overflow(self):
+        big = system_area(P5Config.thirty_two_bit())
+        report = synthesize(big, "XC2V40-6", allow_overflow=True)
+        assert report.lut_pct > 100
+
+    def test_report_row_format(self):
+        report = synthesize(system_area(P5Config.eight_bit()), "XC2V40-6")
+        row = report.row(post_layout=True)
+        assert "XC2V40-6" in row and "MHz" in row and "%" in row
+
+    def test_format_table(self):
+        reports = [synthesize(system_area(P5Config.eight_bit()), d)
+                   for d in ("XCV50-4", "XC2V40-6")]
+        table = format_table("Table 1", reports)
+        assert "Pre-layout" in table and "Post-layout" in table

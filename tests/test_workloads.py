@@ -1,0 +1,93 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.hdlc.constants import ESC_OCTET, FLAG_OCTET
+from repro.ipv4 import Ipv4Datagram
+from repro.ppp.frame import PPPFrame
+from repro.workloads import (
+    IMIX_SIMPLE,
+    ImixProfile,
+    PacketStream,
+    all_flags_payload,
+    flag_density_payload,
+    imix_sizes,
+    ppp_frame_contents,
+    random_payload,
+)
+
+
+class TestImix:
+    def test_simple_profile_mean(self):
+        """7x40 + 4x576 + 1x1500 over 12 ~ 340 bytes."""
+        assert IMIX_SIMPLE.mean_size == pytest.approx(340.3, abs=0.1)
+
+    def test_sample_sizes_from_profile(self):
+        sizes = imix_sizes(1000, seed=1)
+        assert set(sizes) <= {40, 576, 1500}
+
+    def test_sample_proportions(self):
+        sizes = imix_sizes(12_000, seed=2)
+        small = sizes.count(40) / len(sizes)
+        assert small == pytest.approx(7 / 12, abs=0.03)
+
+    def test_deterministic(self):
+        assert imix_sizes(50, seed=3) == imix_sizes(50, seed=3)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ImixProfile("bad", (10,), (1,))
+        with pytest.raises(ValueError):
+            ImixProfile("bad", (40,), (1, 2))
+
+
+class TestPayloads:
+    def test_random_payload_length_and_determinism(self):
+        assert len(random_payload(100, seed=1)) == 100
+        assert random_payload(100, seed=1) == random_payload(100, seed=1)
+
+    def test_flag_density_zero(self):
+        payload = flag_density_payload(5000, 0.0, seed=1)
+        assert FLAG_OCTET not in payload and ESC_OCTET not in payload
+
+    def test_flag_density_one(self):
+        payload = flag_density_payload(1000, 1.0, seed=1)
+        assert all(b in (FLAG_OCTET, ESC_OCTET) for b in payload)
+
+    def test_flag_density_mid(self):
+        payload = flag_density_payload(20_000, 0.25, seed=1)
+        density = sum(b in (FLAG_OCTET, ESC_OCTET) for b in payload) / len(payload)
+        assert density == pytest.approx(0.25, abs=0.02)
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            flag_density_payload(10, 1.5)
+
+    def test_all_flags(self):
+        assert all_flags_payload(7) == bytes([FLAG_OCTET] * 7)
+
+
+class TestPacketStream:
+    def test_datagrams_are_valid_ipv4(self):
+        stream = PacketStream(seed=1)
+        for datagram in stream.datagrams(20):
+            decoded = Ipv4Datagram.decode(datagram.encode())
+            assert decoded.header.src == datagram.header.src
+
+    def test_frame_contents_are_valid_ppp(self):
+        for content in ppp_frame_contents(10, seed=2):
+            frame = PPPFrame.decode(content)
+            assert frame.protocol == 0x0021
+            Ipv4Datagram.decode(frame.information)
+
+    def test_sizes_follow_profile(self):
+        stream = PacketStream(seed=3)
+        sizes = {len(d) for d in stream.datagrams(200)}
+        assert sizes <= {40, 576, 1500}
+
+    def test_custom_address(self):
+        content = PacketStream(seed=4).frame_contents(1, address=0x0B)[0]
+        assert content[0] == 0x0B
+
+    def test_reproducible(self):
+        assert ppp_frame_contents(5, seed=5) == ppp_frame_contents(5, seed=5)
