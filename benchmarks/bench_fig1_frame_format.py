@@ -10,12 +10,13 @@ from conftest import emit
 
 from repro.crc import CRC16_X25, CRC32
 from repro.hdlc import HdlcFramer
+from repro.hdlc.constants import ESC_OCTET, ESCAPE_XOR, FLAG_OCTET
 from repro.ppp import PPPFrame
 from repro.utils.bits import hexdump
 
 
 def build_layouts():
-    payload = bytes([0x31, 0x33, 0x7E, 0x96])   # the paper's example bytes
+    payload = bytes([0x31, 0x33, FLAG_OCTET, 0x96])   # the paper's example bytes
     rows = []
     for label, pfc, spec in (
         ("2-byte protocol, FCS-32", False, CRC32),
@@ -43,11 +44,11 @@ def test_fig1(benchmark):
     full, compressed = rows
     # Field-by-field check of the uncompressed frame.
     wire = full[2]
-    assert wire[0] == 0x7E and wire[-1] == 0x7E          # flags
+    assert wire[0] == FLAG_OCTET and wire[-1] == FLAG_OCTET  # flags
     assert wire[1] == 0xFF and wire[2] == 0x03           # address, control
     assert wire[3:5] == b"\x00\x21"                      # protocol
-    # Payload contains 0x7E which must appear stuffed on the wire.
-    assert bytes([0x7D, 0x5E]) in wire
+    # Payload contains the flag octet, which must appear stuffed on the wire.
+    assert bytes([ESC_OCTET, FLAG_OCTET ^ ESCAPE_XOR]) in wire
     # FCS sizes: decoded content identical under both configurations.
     for label, content, w, spec in rows:
         assert HdlcFramer(spec).decode(w).content == content

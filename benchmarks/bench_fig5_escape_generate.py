@@ -9,6 +9,7 @@ prints the lane-level timing diagram the figure drew by hand.
 from conftest import emit
 
 from repro.core.escape_pipeline import PipelinedEscapeGenerate
+from repro.hdlc.constants import ESC_OCTET, ESCAPE_XOR, FLAG_OCTET
 from repro.rtl import (
     Channel,
     Simulator,
@@ -20,7 +21,7 @@ from repro.rtl import (
 
 
 def run_figure5():
-    data = bytes([0x7E, 0x12, 0x34, 0x56])
+    data = bytes([FLAG_OCTET, 0x12, 0x34, 0x56])
     c_in, c_out = Channel("escgen.in", capacity=2), Channel("escgen.out", capacity=2)
     src = StreamSource("src", c_in, beats_from_bytes(data, 4))
     unit = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
@@ -43,7 +44,9 @@ def test_fig5(benchmark):
         + trace.render()
     )
     emit("Figure 5 — Escape Generate data organisation", body)
-    assert sink.data() == bytes([0x7D, 0x5E, 0x12, 0x34, 0x56])
+    assert sink.data() == bytes(
+        [ESC_OCTET, FLAG_OCTET ^ ESCAPE_XOR, 0x12, 0x34, 0x56]
+    )
     # The spill: a full first word and a 1-valid second word.
     assert [b.n_valid for b in sink.beats] == [4, 1]
     assert sink.beats[0].render().startswith("7D 5E 12 34")

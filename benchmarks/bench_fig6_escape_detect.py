@@ -9,6 +9,7 @@ shows the bubble being filled.
 from conftest import emit
 
 from repro.core.escape_pipeline import PipelinedEscapeDetect
+from repro.hdlc.constants import ESC_OCTET, ESCAPE_XOR, FLAG_OCTET
 from repro.rtl import (
     Channel,
     Simulator,
@@ -21,7 +22,8 @@ from repro.rtl import (
 
 def run_figure6():
     # The figure's word followed by a second word to fill the bubble.
-    data = bytes([0x7D, 0x5E, 0x12, 0x34, 0x56, 0x57, 0x58, 0x59])
+    data = bytes([ESC_OCTET, FLAG_OCTET ^ ESCAPE_XOR,
+                  0x12, 0x34, 0x56, 0x57, 0x58, 0x59])
     c_in, c_out = Channel("escdet.in", capacity=2), Channel("escdet.out", capacity=2)
     src = StreamSource("src", c_in, beats_from_bytes(data, 4))
     unit = PipelinedEscapeDetect("det", c_in, c_out, width_bytes=4)
@@ -45,7 +47,9 @@ def test_fig6(benchmark):
         + trace.render()
     )
     emit("Figure 6 — Escape Detect data organisation", body)
-    assert sink.data() == bytes([0x7E, 0x12, 0x34, 0x56, 0x57, 0x58, 0x59])
+    assert sink.data() == bytes(
+        [FLAG_OCTET, 0x12, 0x34, 0x56, 0x57, 0x58, 0x59]
+    )
     # The first output word is FULL: the next word's byte filled the bubble.
     assert sink.beats[0].n_valid == 4
     assert sink.beats[0].render().startswith("7E 12 34 56")

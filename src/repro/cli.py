@@ -12,6 +12,9 @@ Subcommands
     Measure pipeline fill latency at a given width.
 ``trace``
     Run the Figure 5 scenario and dump a VCD waveform.
+``lint``
+    Static design-rule checks: graph DRC over the shipped topologies
+    plus the ready/valid AST lint over the source tree.
 """
 
 from __future__ import annotations
@@ -59,6 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_dup.add_argument("--width", type=int, default=32, choices=(8, 16, 32, 64))
     p_dup.add_argument("--frames", type=int, default=10)
     p_dup.add_argument("--seed", type=int, default=1)
+
+    p_lint = sub.add_parser("lint", help="static DRC + ready/valid AST lint")
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--path", action="append", default=None, dest="paths",
+        help="file or directory to AST-lint (repeatable; default: the "
+             "installed repro package source)",
+    )
+    p_lint.add_argument(
+        "--no-graph", action="store_true",
+        help="skip the graph DRC over the shipped topologies",
+    )
+    p_lint.add_argument(
+        "--no-ast", action="store_true",
+        help="skip the AST discipline lint",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
 
     return parser
 
@@ -139,10 +165,11 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.escape_pipeline import PipelinedEscapeGenerate
+    from repro.hdlc.constants import FLAG_OCTET
     from repro.rtl import Channel, Simulator, StreamSink, StreamSource, beats_from_bytes
     from repro.rtl.vcd import VcdWriter
 
-    data = bytes([0x7E, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE])
+    data = bytes([FLAG_OCTET, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE])
     c_in, c_out = Channel("escgen.in", capacity=2), Channel("escgen.out", capacity=2)
     src = StreamSource("src", c_in, beats_from_bytes(data, 4))
     unit = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
@@ -174,6 +201,39 @@ def _cmd_duplex(args: argparse.Namespace) -> int:
     return 0 if result.all_good() else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import lint
+
+    findings: List[lint.Finding] = []
+    if not args.no_graph:
+        for name, modules, channels in lint.shipped_topologies():
+            findings.extend(
+                lint.lint_topology(modules, channels, topology_name=name)
+            )
+    if not args.no_ast:
+        paths = args.paths
+        if paths is None:
+            paths = [pathlib.Path(__file__).resolve().parent]
+        missing = [str(p) for p in paths if not pathlib.Path(p).exists()]
+        if missing:
+            print(f"repro lint: error: no such path: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        findings.extend(lint.lint_paths(paths))
+
+    if args.format == "json":
+        print(lint.render_json(findings))
+    else:
+        print(lint.render_text(findings))
+    if lint.has_errors(findings):
+        return 1
+    if args.strict and findings:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -189,6 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "duplex":
         return _cmd_duplex(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

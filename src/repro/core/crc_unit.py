@@ -51,8 +51,8 @@ class CrcGenerate(Module):
         spec: CrcSpec,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.spec = spec
         self.core = ParallelCrc(spec, width_bytes * 8)
@@ -63,6 +63,13 @@ class CrcGenerate(Module):
     @property
     def fcs_octets(self) -> int:
         return self.spec.width // 8
+
+    def capacity_needs(self):
+        # The eof flush emits carry (<= W-1) + W content + FCS octets
+        # in one burst; the room check in clock() demands this much.
+        w = self.width_bytes
+        words = (2 * w - 1 + self.fcs_octets) // w + 1
+        return [(self.out, words, "end-of-frame content+FCS flush burst")]
 
     def clock(self) -> None:
         if not self.inp.can_pop:
@@ -136,8 +143,8 @@ class CrcCheck(Module):
         spec: CrcSpec,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.spec = spec
         self.core = ParallelCrc(spec, width_bytes * 8)

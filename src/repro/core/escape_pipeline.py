@@ -80,8 +80,8 @@ class _EscapePipelineBase(Module):
             raise ValueError(
                 "resync buffer must hold at least 3 words (one worst-case job)"
             )
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.pipeline_stages = pipeline_stages
         self.resync_capacity = resync_depth_words

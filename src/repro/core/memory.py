@@ -157,7 +157,7 @@ class DmaTxFrameSource(Module):
         width_bytes: int,
     ) -> None:
         super().__init__(name)
-        self.out = out
+        self.out = self.writes(out)
         self.memory = memory
         self.ring = ring
         self.width_bytes = width_bytes
@@ -212,7 +212,7 @@ class DmaRxFrameSink(Module):
         ring: DescriptorRing,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
+        self.inp = self.reads(inp)
         self.crc = crc
         self.memory = memory
         self.ring = ring

@@ -33,8 +33,8 @@ class PhyWire(Module):
 
     def __init__(self, name: str, inp: Channel, out: Channel, *, corrupt=None) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.corrupt = corrupt
         self.words_moved = 0
 

@@ -49,8 +49,8 @@ class WordDelineator(Module):
         flag_octet: int = FLAG_OCTET,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.flag_octet = flag_octet
         self._carry = bytearray()      # body bytes of the open frame
@@ -59,6 +59,11 @@ class WordDelineator(Module):
         self.octets_discarded_hunting = 0
         self.frames_delineated = 0
         self.empty_bodies = 0          # idle flags between frames
+
+    def capacity_needs(self):
+        # One PHY word of tiny frames can burst W+2 beats (the room
+        # check in clock()); anything shallower deadlocks the hunt.
+        return [(self.out, self.width_bytes + 2, "worst-case tiny-frame burst")]
 
     def clock(self) -> None:
         if not self.inp.can_pop:
@@ -129,7 +134,7 @@ class RxFrameSink(Module):
 
     def __init__(self, name: str, inp: Channel, crc: CrcCheck) -> None:
         super().__init__(name)
-        self.inp = inp
+        self.inp = self.reads(inp)
         self.crc = crc
         self._current = bytearray()
         self.frames: List[Tuple[bytes, bool]] = []

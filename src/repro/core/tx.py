@@ -33,7 +33,7 @@ class TxFrameSource(Module):
 
     def __init__(self, name: str, out: Channel, *, width_bytes: int) -> None:
         super().__init__(name)
-        self.out = out
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.queue: Deque[bytes] = deque()
         self._beats: Deque[WordBeat] = deque()
@@ -85,13 +85,20 @@ class FlagInserter(Module):
         flag_octet: int = FLAG_OCTET,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.flag_octet = flag_octet
         self._carry = bytearray()
         self.flags_inserted = 0
         self.frames_wrapped = 0
+
+    def capacity_needs(self):
+        # Worst case one beat closes a frame: carry (<= W-1) + W new
+        # octets + 2 flags must fit the output in one burst.
+        w = self.width_bytes
+        words = (w - 1 + w + 2 + w - 1) // w
+        return [(self.out, words, "eof flush burst of the flag wrapper")]
 
     def clock(self) -> None:
         if not self.inp.can_pop:

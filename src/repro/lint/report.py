@@ -1,0 +1,81 @@
+"""Text and JSON reporters for lint findings.
+
+Both renderings are *stable*: findings are sorted by (file, line,
+code, message) so repeated runs over the same tree produce identical
+output, and the JSON schema carries an explicit version so CI
+consumers can parse it defensively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.rules import RULES, Finding, Severity
+
+__all__ = [
+    "sort_findings",
+    "render_text",
+    "render_json",
+    "has_errors",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic report order."""
+    return sorted(
+        findings,
+        key=lambda f: (f.file or "", f.line or 0, f.code, f.subject, f.message),
+    )
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    counts = _counts(ordered)
+    if ordered:
+        lines.append(
+            f"{len(ordered)} finding(s): "
+            f"{counts['error']} error(s), {counts['warning']} warning(s)"
+        )
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-parseable report (sorted keys, stable ordering)."""
+    ordered = sort_findings(findings)
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "counts": _counts(ordered),
+        "findings": [
+            {
+                "code": finding.code,
+                "rule": RULES[finding.code].name,
+                "severity": finding.severity.value,
+                "message": finding.message,
+                "subject": finding.subject,
+                "file": finding.file,
+                "line": finding.line,
+            }
+            for finding in ordered
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def has_errors(findings: Sequence[Finding]) -> bool:
+    """Whether any finding is error-severity (drives the exit code)."""
+    return any(finding.severity is Severity.ERROR for finding in findings)

@@ -1,0 +1,175 @@
+"""Rule registry and findings for the P5 design-rule checker.
+
+Every rule models one *hardware* property the P5 architecture relies
+on: the graph rules (``P5D...``) are the structural checks an HDL DRC
+runs on a netlist before synthesis; the AST rules (``P5L...``) are the
+coding-discipline checks an RTL lint (unguarded writes, magic framing
+constants) runs on the source.  Codes are stable: tools and
+suppression comments reference them, and ``docs/linting.md`` catalogues
+them (checked against this registry by the doc-consistency tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Severity", "Rule", "Finding", "RULES", "rule"]
+
+
+class Severity(enum.Enum):
+    """How bad a violation is; errors fail the build, warnings advise."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One design rule: stable code, severity and hardware rationale."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    rationale: str
+
+
+#: The full rule catalogue, keyed by code.  ``docs/linting.md`` must
+#: list exactly these codes (enforced by test_docs_consistency.py).
+RULES: Dict[str, Rule] = {}
+
+
+def _register(rule_obj: Rule) -> Rule:
+    if rule_obj.code in RULES:  # pragma: no cover - registry integrity
+        raise ValueError(f"duplicate rule code {rule_obj.code}")
+    RULES[rule_obj.code] = rule_obj
+    return rule_obj
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by code (KeyError on unknown codes)."""
+    return RULES[code]
+
+
+# --------------------------------------------------------------- graph DRC
+_register(Rule(
+    "P5D001", "multiple-producers", Severity.ERROR,
+    "A channel is written by more than one module.",
+    "A pipeline register has exactly one driver; two modules pushing "
+    "into one channel is contention on a physical wire (a multi-driven "
+    "net in HDL terms) and makes arrival order simulation-schedule "
+    "dependent.",
+))
+_register(Rule(
+    "P5D002", "multiple-consumers", Severity.ERROR,
+    "A channel is read by more than one module.",
+    "A pop is destructive: two readers steal words from each other, "
+    "which has no hardware equivalent (a register output can fan out, "
+    "but a FIFO read port cannot be shared without an arbiter).",
+))
+_register(Rule(
+    "P5D003", "dangling-channel", Severity.ERROR,
+    "A channel has no producer or no consumer.",
+    "An undriven input floats and an unread output silently fills "
+    "until backpressure deadlocks the pipeline; both are wiring "
+    "mistakes a netlist DRC rejects.",
+))
+_register(Rule(
+    "P5D004", "unreachable-module", Severity.WARNING,
+    "A module is not reachable from any source module.",
+    "Stages no data can ever reach are dead logic: either the wiring "
+    "is wrong or the module should not be in the design (unconnected "
+    "instance).",
+))
+_register(Rule(
+    "P5D005", "clock-order", Severity.ERROR,
+    "The simulator's module list is not in source-to-sink order.",
+    "The kernel clocks modules sink-first (reversed list) so a "
+    "non-stalled pipeline advances every stage in one cycle; that is "
+    "only equivalent to flip-flop semantics if the list is a "
+    "topological order of the dataflow graph.",
+))
+_register(Rule(
+    "P5D006", "capacity-shortfall", Severity.ERROR,
+    "A channel is shallower than a stage's declared worst-case burst.",
+    "Stages that flush multi-word bursts (CRC trailer, flag wrap, "
+    "delineation of tiny frames) check for room before consuming; if "
+    "the channel can never hold the burst the stage stalls forever — "
+    "a sizing bug caught at elaboration time in hardware.",
+))
+_register(Rule(
+    "P5D007", "combinational-loop", Severity.ERROR,
+    "A cycle of modules contains no registered channel.",
+    "A feedback path with no flip-flop in it is a combinational loop: "
+    "unstable in hardware, unschedulable in the simulator.  Any "
+    "legitimate ring must be cut by at least one registered channel.",
+))
+_register(Rule(
+    "P5D008", "unclocked-endpoint", Severity.ERROR,
+    "A channel endpoint module is missing from the simulated module list.",
+    "A producer or consumer that is wired but never clocked models a "
+    "stage with no clock connected: its channel fills or starves and "
+    "the pipeline wedges.",
+))
+
+# ---------------------------------------------------------------- AST lint
+_register(Rule(
+    "P5L001", "unguarded-push", Severity.ERROR,
+    "A push() in a clock body is not dominated by a can_push/room guard.",
+    "Pushing into a full channel is a BackpressureOverflow at "
+    "simulation time and data loss in hardware; the ready/valid "
+    "discipline requires checking readiness *before* driving data.",
+))
+_register(Rule(
+    "P5L002", "unguarded-pop", Severity.ERROR,
+    "A pop()/peek() in a clock body is not dominated by a can_pop guard.",
+    "Reading an empty channel consumes garbage (valid was low); the "
+    "handshake requires qualifying every read with the valid signal.",
+))
+_register(Rule(
+    "P5L003", "bare-framing-octet", Severity.ERROR,
+    "A bare 0x7E/0x7D literal is used instead of the hdlc constants.",
+    "The flag and escape octets are *programmable* in the P5; "
+    "hard-coding their RFC 1662 defaults silently breaks every "
+    "non-default framing configuration.",
+))
+_register(Rule(
+    "P5L004", "foreign-channel-op", Severity.ERROR,
+    "A clock body operates on a channel not bound directly on self.",
+    "A module may only drive its own ports; reaching through another "
+    "module to push/pop its channels is a cross-hierarchy net "
+    "assignment — invisible to the DRC's ownership model and to any "
+    "reader of the wiring.",
+))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, locatable either in source or in the graph."""
+
+    code: str
+    message: str
+    subject: str = ""                 # module/channel name or source symbol
+    file: Optional[str] = None        # AST findings: path
+    line: Optional[int] = None        # AST findings: 1-based line
+    severity: Severity = field(default=Severity.ERROR)
+
+    @staticmethod
+    def of(code: str, message: str, **kwargs) -> "Finding":
+        """Build a finding, inheriting the rule's severity."""
+        return Finding(code=code, message=message,
+                       severity=RULES[code].severity, **kwargs)
+
+    def render(self) -> str:
+        """One text-report line: ``file:line: CODE message`` style."""
+        where = ""
+        if self.file is not None:
+            where = f"{self.file}:{self.line or 0}: "
+        elif self.subject:
+            where = f"{self.subject}: "
+        return f"{where}{self.code} [{self.severity.value}] {self.message}"

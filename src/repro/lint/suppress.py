@@ -1,0 +1,45 @@
+"""``# lint: ignore[...]`` suppression comments.
+
+A finding is suppressed when the offending source line carries a
+comment of the form::
+
+    something()          # lint: ignore[P5L003]
+    another()            # lint: ignore[P5L001, P5L002]
+    escape_hatch()       # lint: ignore
+
+A bare ``ignore`` (no bracket list) suppresses every rule on that
+line; named codes suppress only those rules.  Suppressions are
+line-scoped on purpose — the discipline mirrors HDL lint waivers,
+which are attached to the specific net or statement they waive.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+__all__ = ["suppressed_lines"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to suppressed codes.
+
+    An empty frozenset means "suppress everything on this line".
+    """
+    table: Dict[int, FrozenSet[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[number] = frozenset()
+        else:
+            table[number] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return table

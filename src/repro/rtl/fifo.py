@@ -24,9 +24,11 @@ class SyncFifo(Module):
 
     def __init__(self, name: str, inp: Channel, out: Channel, depth: int) -> None:
         super().__init__(name)
-        self.inp = inp
-        self.out = out
-        self.store = Channel(f"{name}.store", capacity=depth)
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
+        # The internal store is both written and read by this module —
+        # a registered self-loop the DRC knows to allow.
+        self.store = self.reads(self.writes(Channel(f"{name}.store", capacity=depth)))
 
     @property
     def depth(self) -> int:

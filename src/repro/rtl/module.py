@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable, List, Tuple
 
 from repro.errors import BackpressureOverflow
 
@@ -21,13 +21,25 @@ class Channel:
 
     Occupancy statistics are tracked so benchmarks can verify the
     paper's "extremely low resynchronisation buffer" claim.
+
+    :attr:`producers` / :attr:`consumers` record which modules wired
+    themselves to this channel (via :meth:`Module.writes` /
+    :meth:`Module.reads`).  The lists are purely observational — the
+    design-rule checker in :mod:`repro.lint` walks them to validate
+    the topology before a single cycle is clocked; simulation
+    behaviour never depends on them.  ``registered=False`` declares a
+    wire-only (combinational) link for DRC purposes; the simulation
+    semantics are identical.
     """
 
-    def __init__(self, name: str, capacity: int = 1) -> None:
+    def __init__(self, name: str, capacity: int = 1, *, registered: bool = True) -> None:
         if capacity < 1:
             raise ValueError("channel capacity must be >= 1")
         self.name = name
         self.capacity = capacity
+        self.registered = registered
+        self.producers: List["Module"] = []
+        self.consumers: List["Module"] = []
         self._queue: Deque[Any] = deque()
         self.pushes = 0
         self.pops = 0
@@ -89,6 +101,39 @@ class Module:
         self.name = name
         self.cycles = 0
         self.stalled_cycles = 0
+        self.reads_from: List[Channel] = []
+        self.writes_to: List[Channel] = []
+
+    # ------------------------------------------------------------- topology
+    def reads(self, channel: Channel) -> Channel:
+        """Register this module as ``channel``'s consumer; returns it.
+
+        Observational only (used by the :mod:`repro.lint` DRC): wiring
+        ``self.inp = self.reads(inp)`` leaves simulation behaviour
+        untouched while making the module graph statically visible.
+        """
+        if channel not in self.reads_from:
+            self.reads_from.append(channel)
+        if self not in channel.consumers:
+            channel.consumers.append(self)
+        return channel
+
+    def writes(self, channel: Channel) -> Channel:
+        """Register this module as ``channel``'s producer; returns it."""
+        if channel not in self.writes_to:
+            self.writes_to.append(channel)
+        if self not in channel.producers:
+            channel.producers.append(self)
+        return channel
+
+    def capacity_needs(self) -> Iterable[Tuple[Channel, int, str]]:
+        """Declare ``(channel, min_capacity, why)`` requirements.
+
+        Subclasses whose room checks demand more than one word of
+        downstream space override this so the DRC can verify the
+        declared capacities support the stage's worst-case burst.
+        """
+        return ()
 
     def clock(self) -> None:
         """One rising clock edge (subclass hook)."""

@@ -176,7 +176,7 @@ class StreamSource(Module):
         stall: Optional[StallPattern] = None,
     ) -> None:
         super().__init__(name)
-        self.out = out
+        self.out = self.writes(out)
         self._beats: Iterator[WordBeat] = iter(list(beats))
         self._pending: Optional[WordBeat] = None
         self.stall = stall or StallPattern.never()
@@ -215,7 +215,7 @@ class StreamSink(Module):
         stall: Optional[StallPattern] = None,
     ) -> None:
         super().__init__(name)
-        self.inp = inp
+        self.inp = self.reads(inp)
         self.stall = stall or StallPattern.never()
         self.beats: List[WordBeat] = []
         self.first_arrival_cycle: Optional[int] = None

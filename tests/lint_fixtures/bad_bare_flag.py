@@ -1,0 +1,8 @@
+"""Deliberately broken: hard-codes the RFC 1662 framing octets (P5L003)."""
+
+FLAG = 0x7E
+ESCAPE = 0x7D
+
+
+def delimit(payload: bytes) -> bytes:
+    return bytes([FLAG]) + payload + bytes([FLAG])

@@ -1,0 +1,15 @@
+"""Deliberately broken: mutates a channel it does not own (P5L004)."""
+
+from repro.rtl.module import Module
+
+
+class ChannelThief(Module):
+    """Reaches through a peer module to drive its output port."""
+
+    def __init__(self, name: str, peer) -> None:
+        super().__init__(name)
+        self.peer = peer
+
+    def clock(self) -> None:
+        if self.peer.out.can_push:
+            self.peer.out.push(0x55)   # not a port of this module

@@ -1,0 +1,17 @@
+"""Deliberately broken: pops/peeks without a can_pop guard (P5L002)."""
+
+from repro.rtl.module import Channel, Module
+
+
+class UnguardedPopper(Module):
+    """Reads its input register without qualifying valid."""
+
+    def __init__(self, name: str, inp: Channel) -> None:
+        super().__init__(name)
+        self.inp = self.reads(inp)
+        self.last = None
+
+    def clock(self) -> None:
+        beat = self.inp.peek()   # no can_pop guard
+        self.last = self.inp.pop()
+        del beat

@@ -1,0 +1,14 @@
+"""Deliberately broken: pushes without any can_push/room guard (P5L001)."""
+
+from repro.rtl.module import Channel, Module
+
+
+class UnguardedPusher(Module):
+    """Drives its output register without checking readiness."""
+
+    def __init__(self, name: str, out: Channel) -> None:
+        super().__init__(name)
+        self.out = self.writes(out)
+
+    def clock(self) -> None:
+        self.out.push(0xAB)  # no can_push guard anywhere on this path

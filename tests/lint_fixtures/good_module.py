@@ -1,0 +1,25 @@
+"""A fixture obeying every rule: the discipline the shipped tree follows."""
+
+from repro.hdlc.constants import FLAG_OCTET
+from repro.rtl.module import Channel, Module
+
+
+class WellBehaved(Module):
+    """Guards every handshake and owns every channel it touches."""
+
+    def __init__(self, name: str, inp: Channel, out: Channel) -> None:
+        super().__init__(name)
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
+        self.flags_seen = 0
+
+    def clock(self) -> None:
+        if not self.inp.can_pop:
+            return
+        if not self.out.can_push:
+            self.note_stall()
+            return
+        octet = self.inp.pop()
+        if octet == FLAG_OCTET:
+            self.flags_seen += 1
+        self.out.push(octet)

@@ -65,3 +65,33 @@ def test_version_single_source():
 
     pyproject = (ROOT / "pyproject.toml").read_text()
     assert f'version = "{__version__}"' in pyproject
+
+
+def test_linting_doc_matches_rule_registry():
+    """docs/linting.md catalogues exactly the rules repro.lint exports."""
+    from repro.lint import RULES
+
+    text = (ROOT / "docs" / "linting.md").read_text()
+    documented = set(re.findall(r"\bP5[DL]\d{3}\b", text))
+    registered = set(RULES)
+    assert documented == registered, (
+        f"docs/linting.md drifted from repro.lint.RULES: "
+        f"undocumented={sorted(registered - documented)}, "
+        f"stale={sorted(documented - registered)}"
+    )
+
+
+def test_linting_doc_states_each_rule_name_and_severity():
+    from repro.lint import RULES
+
+    text = (ROOT / "docs" / "linting.md").read_text()
+    for code, rule in RULES.items():
+        row = re.search(rf"\|\s*{code}\s*\|([^|]+)\|([^|]+)\|", text)
+        assert row, f"no catalogue row for {code}"
+        assert rule.name in row.group(1), f"{code}: name drifted"
+        assert rule.severity.value in row.group(2), f"{code}: severity drifted"
+
+
+def test_linting_doc_linked_from_readme_and_architecture():
+    assert "docs/linting.md" in (ROOT / "README.md").read_text()
+    assert "linting.md" in (ROOT / "docs" / "architecture.md").read_text()

@@ -1,0 +1,80 @@
+"""The ``repro lint`` subcommand: exit codes and reporter output."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.lint import JSON_SCHEMA_VERSION, RULES
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def test_lint_shipped_tree_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean: no findings" in out
+
+
+def test_lint_bad_fixture_exits_nonzero_with_rule_code(capsys):
+    code = main(["lint", "--no-graph",
+                 "--path", str(FIXTURES / "bad_unguarded_push.py")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "P5L001" in out
+
+
+def test_lint_each_bad_fixture_names_its_rule(capsys):
+    expected = {
+        "bad_unguarded_push.py": "P5L001",
+        "bad_unguarded_pop.py": "P5L002",
+        "bad_bare_flag.py": "P5L003",
+        "bad_foreign_channel.py": "P5L004",
+    }
+    for fixture, rule_code in expected.items():
+        code = main(["lint", "--no-graph", "--path", str(FIXTURES / fixture)])
+        out = capsys.readouterr().out
+        assert code == 1, fixture
+        assert rule_code in out, fixture
+
+
+def test_json_output_is_machine_parseable(capsys):
+    assert main(["lint", "--no-graph", "--format", "json",
+                 "--path", str(FIXTURES / "bad_bare_flag.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["counts"]["error"] == len(payload["findings"]) == 2
+    for finding in payload["findings"]:
+        assert finding["code"] in RULES
+        assert finding["rule"] == RULES[finding["code"]].name
+        assert finding["severity"] in ("error", "warning")
+        assert finding["file"].endswith("bad_bare_flag.py")
+        assert isinstance(finding["line"], int)
+
+
+def test_json_output_is_stable_across_runs(capsys):
+    args = ["lint", "--no-graph", "--format", "json", "--path", str(FIXTURES)]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)
+    second = capsys.readouterr().out
+    assert first == second
+    findings = json.loads(first)["findings"]
+    ordering = [(f["file"], f["line"], f["code"]) for f in findings]
+    assert ordering == sorted(ordering)
+
+
+def test_nonexistent_path_is_a_clean_cli_error(capsys):
+    code = main(["lint", "--no-graph", "--path", "/nonexistent/file.py"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "no such path" in err and "/nonexistent/file.py" in err
+
+
+def test_graph_only_run_is_clean(capsys):
+    assert main(["lint", "--no-ast"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_ast_only_run_over_src_is_clean(capsys):
+    assert main(["lint", "--no-graph"]) == 0
+    assert "clean" in capsys.readouterr().out
