@@ -15,6 +15,9 @@ Subcommands
 ``lint``
     Static design-rule checks: graph DRC over the shipped topologies
     plus the ready/valid AST lint over the source tree.
+``faults``
+    Seeded fault-injection campaigns over the loopback datapath with
+    recovery-invariant checking (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -84,6 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--strict", action="store_true",
         help="exit non-zero on warnings as well as errors",
+    )
+
+    p_flt = sub.add_parser(
+        "faults", help="layered fault-injection campaign with invariant checks"
+    )
+    p_flt.add_argument(
+        "--campaign", choices=("quick", "smoke", "soak"), default="smoke",
+        help="preset size: quick=24, smoke=208, soak=1000 faults "
+             "(default: smoke)",
+    )
+    p_flt.add_argument(
+        "--faults", type=int, default=None,
+        help="override the preset fault count",
+    )
+    p_flt.add_argument("--seed", type=int, default=1)
+    p_flt.add_argument("--width", type=int, default=32, choices=(8, 16, 32, 64))
+    p_flt.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_flt.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json",
     )
 
     return parser
@@ -234,6 +260,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+_CAMPAIGN_PRESETS = {"quick": 24, "smoke": 208, "soak": 1000}
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro import faults
+
+    count = args.faults if args.faults is not None else _CAMPAIGN_PRESETS[args.campaign]
+    if count < 1:
+        print("repro faults: error: --faults must be >= 1", file=sys.stderr)
+        return 2
+    config = faults.CampaignConfig(
+        faults=count, seed=args.seed, width_bits=args.width
+    )
+    result = faults.run_campaign(config)
+    if args.json or args.format == "json":
+        print(faults.render_json(result))
+    else:
+        print(faults.render_text(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -251,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_duplex(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -45,6 +45,13 @@ class P5Config:
         datapath words.  The paper's claim is that a very small value
         suffices; 3 words (the structural minimum: one worst-case
         expansion job) is the default the A2 ablation validates.
+    max_frame_octets:
+        Oversize cut-off for the receive delineator, in frame-body
+        octets on the wire.  A frame whose body exceeds this bound
+        (the signature of a corrupted-away closing flag merging two
+        frames) is dropped with an ``RX_OVERSIZE`` count and the
+        delineator re-hunts to the next flag.  ``0`` (the default)
+        disables the check.
     clock_hz:
         System clock for latency/throughput conversions (78.125 MHz
         gives the paper's 2.5 Gbps at 32 bits/cycle).
@@ -55,6 +62,7 @@ class P5Config:
     address: int = DEFAULT_ADDRESS
     accm_mask: int = 0
     resync_depth_words: int = 3
+    max_frame_octets: int = 0
     clock_hz: float = LINE_CLOCK_HZ
     #: Programmable framing octets (HDLC defaults).  Exotic values
     #: support non-standard delineation experiments — the follow-on
@@ -74,6 +82,12 @@ class P5Config:
         if self.resync_depth_words < 3:
             raise ConfigError(
                 "resync buffer must hold at least 3 words (one worst-case job)"
+            )
+        if self.max_frame_octets and self.max_frame_octets < 4 * self.width_bytes:
+            raise ConfigError(
+                "max_frame_octets must be 0 (unbounded) or at least four "
+                "datapath words (the delineator's oversize cut assumes a "
+                "frame spans multiple words)"
             )
         if self.clock_hz <= 0:
             raise ConfigError("clock must be positive")

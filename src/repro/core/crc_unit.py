@@ -26,6 +26,7 @@ from typing import List
 
 from repro.crc import CrcSpec
 from repro.crc.parallel import ParallelCrc
+from repro.errors import FcsError, FramingError, RuntFrameError
 from repro.rtl.module import Channel, Module
 from repro.rtl.pipeline import WordBeat
 
@@ -149,6 +150,7 @@ class CrcCheck(Module):
         self.spec = spec
         self.core = ParallelCrc(spec, width_bytes * 8)
         self._held = bytearray()          # content not yet released
+        self._frame_octets = 0            # total absorbed this frame
         self._sof_pending = True
         self.frames_ok = 0
         self.fcs_errors = 0
@@ -158,6 +160,9 @@ class CrcCheck(Module):
         #: (runts are swallowed), in release order — the sink pairs
         #: these with the eof-marked frames it assembles.
         self.released_results: List[bool] = []
+        #: Typed records of every rejected frame (runt/FCS), in
+        #: arrival order — mirrors ``WordDelineator.faults``.
+        self.faults: List[FramingError] = []
 
     @property
     def fcs_octets(self) -> int:
@@ -169,8 +174,10 @@ class CrcCheck(Module):
         beat: WordBeat = self.inp.peek()
         content = len(self._held) + beat.n_valid - self.fcs_octets
         if beat.eof:
-            # Whole remaining content flushes this cycle.
-            max_words = max(0, (content + self.width_bytes - 1) // self.width_bytes)
+            # Whole remaining content flushes this cycle; reserve at
+            # least one word for the frame-closing eof beat even when
+            # every content octet already streamed out.
+            max_words = max(1, (content + self.width_bytes - 1) // self.width_bytes)
         else:
             max_words = max(0, content) // self.width_bytes
         if self.out.capacity - self.out.occupancy < max_words:
@@ -180,6 +187,7 @@ class CrcCheck(Module):
         payload = beat.payload()
         self._absorb(payload)
         self._held.extend(payload)
+        self._frame_octets += len(payload)
         if beat.eof:
             self._finish_frame()
         else:
@@ -216,24 +224,47 @@ class CrcCheck(Module):
             )
             self._sof_pending = False
             emitted = limit
+        elif flush and limit == 0:
+            # Every content octet already streamed out eofless (the
+            # held-back tail was exactly the FCS, e.g. a force-closed
+            # abort fragment): close the frame on an all-invalid beat
+            # so it cannot merge into the next one.
+            w = self.width_bytes
+            self.out.push(
+                WordBeat((0,) * w, (False,) * w, sof=self._sof_pending, eof=True)
+            )
+            self._sof_pending = False
         del self._held[:emitted]
 
     def _finish_frame(self) -> None:
         good = False
-        if len(self._held) <= self.fcs_octets:
+        if self._frame_octets <= self.fcs_octets:
+            # A true runt: the whole frame fits in the holdback, so
+            # nothing has been released and it can vanish silently.
             self.runt_frames += 1
+            self.faults.append(RuntFrameError(
+                f"{self.name}: {self._frame_octets}-octet frame cannot hold "
+                f"a {self.fcs_octets}-octet FCS"
+            ))
             self._held.clear()
         else:
-            good = self.core.residue_value() == self.spec.residue
+            residue = self.core.residue_value()
+            good = residue == self.spec.residue
             if good:
                 self.frames_ok += 1
             else:
                 self.fcs_errors += 1
+                self.faults.append(FcsError(
+                    self.spec.residue, residue,
+                    f"{self.name}: FCS residue 0x{residue:X} != "
+                    f"magic 0x{self.spec.residue:X}",
+                ))
             del self._held[-self.fcs_octets :]   # strip the trailer
             self._release(flush=True)
             self.released_results.append(good)
         self.frame_results.append(good)
         self.core.reset()
+        self._frame_octets = 0
         self._sof_pending = True
 
 

@@ -92,6 +92,7 @@ class _EscapePipelineBase(Module):
         self._resync: Deque[WordBeat] = deque()
         self._frame_open = False
         # Statistics the OAM exposes.
+        self.resync_overflow_drops = 0
         self.max_resync_occupancy = 0
         self.max_carry_occupancy = 0
         self.words_in = 0
@@ -153,8 +154,23 @@ class _EscapePipelineBase(Module):
                 self._resync[-1] = WordBeat(
                     last.lanes, last.valid, sof=last.sof, eof=True
                 )
+            else:
+                # Every remaining octet of the frame was a deleted
+                # escape (e.g. a force-closed abort fragment ending in
+                # a dangling escape): deliver the eof on an all-invalid
+                # beat so this frame cannot merge into the next one.
+                w = self.width_bytes
+                self._resync.append(
+                    WordBeat((0,) * w, (False,) * w, sof=sof_pending, eof=True)
+                )
 
     def _push_resync(self, word: bytes, *, sof: bool, eof: bool) -> None:
+        if len(self._resync) >= self.resync_capacity:
+            # The sort stage pre-checks capacity, so this is a defensive
+            # bound for fault campaigns: a register upset shrinking the
+            # buffer must degrade to a counted drop, never an assertion.
+            self.resync_overflow_drops += 1
+            return
         beat = WordBeat.from_bytes(word, self.width_bytes, sof=sof, eof=eof)
         self._resync.append(beat)
         if len(self._resync) > self.max_resync_occupancy:

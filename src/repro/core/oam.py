@@ -46,6 +46,9 @@ ADDR_ESC_DELETED = 0x16
 ADDR_RESYNC_HIGHWATER_TX = 0x17
 ADDR_RESYNC_HIGHWATER_RX = 0x18
 ADDR_DANGLING_ESCAPES = 0x19
+ADDR_RX_ABORTS = 0x1A
+ADDR_RX_OVERSIZE = 0x1B
+ADDR_RESYNC_DROPS_RX = 0x1C
 ADDR_FRAMING = 0x04            # [15:8] escape octet, [7:0] flag octet
 
 CTRL_TX_ENABLE = 1 << 0
@@ -131,6 +134,17 @@ class ProtocolOam:
                 ADDR_DANGLING_ESCAPES,
                 lambda: sys.rx.escape.dangling_escape_errors,
             ),
+            ("RX_ABORTS", ADDR_RX_ABORTS, lambda: sys.rx.delineator.aborts),
+            (
+                "RX_OVERSIZE",
+                ADDR_RX_OVERSIZE,
+                lambda: sys.rx.delineator.oversize_drops,
+            ),
+            (
+                "RESYNC_DROPS_RX",
+                ADDR_RESYNC_DROPS_RX,
+                lambda: sys.rx.escape.resync_overflow_drops,
+            ),
         ]
         for name, addr, provider in counters:
             self.regs.add(Register(name, addr, access="ro", on_read=provider))
@@ -162,6 +176,7 @@ class ProtocolOam:
         sys.tx.escape.esc_octet = esc
         sys.tx.flags.flag_octet = flag
         sys.rx.delineator.flag_octet = flag
+        sys.rx.delineator.esc_octet = esc
         sys.rx.escape.esc_octet = esc
         sys.rx.escape.flag_octet = flag
 
@@ -180,7 +195,12 @@ class ProtocolOam:
         """
         sys = self.system
         ok = sys.rx.crc.frames_ok
-        err = sys.rx.crc.fcs_errors + sys.rx.crc.runt_frames
+        err = (
+            sys.rx.crc.fcs_errors
+            + sys.rx.crc.runt_frames
+            + sys.rx.delineator.aborts
+            + sys.rx.delineator.oversize_drops
+        )
         if ok > self._seen_rx_ok:
             self._raise(IRQ_RX_FRAME)
             self._seen_rx_ok = ok

@@ -127,9 +127,18 @@ def run_duplex_exchange(
     config: Optional[P5Config] = None,
     *,
     timeout: int = 1_000_000,
+    corrupt_ab=None,
+    corrupt_ba=None,
 ) -> DuplexResult:
-    """Exchange frame lists between two P5s and run until delivered."""
-    a, b, sim = build_duplex(config)
+    """Exchange frame lists between two P5s and run until delivered.
+
+    ``corrupt_ab``/``corrupt_ba`` pass straight to the two
+    :class:`PhyWire` hops (see :func:`build_duplex`), e.g. a
+    :func:`repro.phy.line.make_beat_corruptor` hook — note a corrupted
+    exchange may then never satisfy the delivery condition, so pick a
+    finite ``timeout`` and catch :class:`~repro.errors.SimulationError`.
+    """
+    a, b, sim = build_duplex(config, corrupt_ab=corrupt_ab, corrupt_ba=corrupt_ba)
     for content in a_frames:
         a.submit(content)
     for content in b_frames:

@@ -6,18 +6,28 @@ the unaligned wire stream, the Escape Detect unit deletes escapes and
 fills the resulting bubbles, the CRC unit verifies and strips the
 FCS, and the frame sink writes whole frames into receive memory with
 their verdicts.
+
+Recovery hardening (exercised by :mod:`repro.faults`): the delineator
+recognises the HDLC **abort sequence** (escape octet immediately
+followed by a flag) and discards the aborted frame, enforces an
+**oversize** bound so a corrupted-away closing flag cannot merge
+frames indefinitely, and records every rejection as a typed
+:class:`~repro.errors.FramingError` instance alongside the OAM
+counters.  All error paths re-hunt to flag sync; none of them wedge
+the pipeline.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.config import P5Config
 from repro.core.crc_unit import CrcCheck
 from repro.core.escape_pipeline import PipelinedEscapeDetect
-from repro.hdlc.constants import FLAG_OCTET
+from repro.errors import AbortError, FramingError, OversizeFrameError
+from repro.hdlc.constants import ESC_OCTET, FLAG_OCTET
 from repro.rtl.module import Channel, Module
-from repro.rtl.pipeline import WordBeat
+from repro.rtl.pipeline import StallPattern, WordBeat
 
 __all__ = ["WordDelineator", "RxFrameSink", "P5Receiver"]
 
@@ -37,6 +47,19 @@ class WordDelineator(Module):
     last, and the eof mark could not be attached.  Hardware has the
     same constraint and the same solution (a registered word of
     lookahead).
+
+    Two error paths protect the downstream pipeline:
+
+    * **abort** — a frame body ending in the escape octet when the
+      closing flag arrives is the RFC 1662 abort sequence.  If nothing
+      has shipped downstream yet the frame is discarded silently
+      (counted in :attr:`aborts`); if part of it already shipped, the
+      partial frame is closed with an eof so the next frame cannot be
+      merged into it (it then fails its FCS check).
+    * **oversize** — a body exceeding ``max_frame_octets`` (a merged
+      frame after a corrupted closing flag) is cut, counted in
+      :attr:`oversize_drops`, and the delineator re-enters the flag
+      hunt, resynchronising at the next flag on the wire.
     """
 
     def __init__(
@@ -47,18 +70,29 @@ class WordDelineator(Module):
         *,
         width_bytes: int,
         flag_octet: int = FLAG_OCTET,
+        esc_octet: int = ESC_OCTET,
+        max_frame_octets: int = 0,
     ) -> None:
         super().__init__(name)
         self.inp = self.reads(inp)
         self.out = self.writes(out)
         self.width_bytes = width_bytes
         self.flag_octet = flag_octet
+        self.esc_octet = esc_octet
+        self.max_frame_octets = max_frame_octets
         self._carry = bytearray()      # body bytes of the open frame
         self._synced = False
         self._sof_pending = False
+        self._emitted = False          # open frame has beats downstream
+        self._body_octets = 0          # body octets seen for the open frame
         self.octets_discarded_hunting = 0
         self.frames_delineated = 0
         self.empty_bodies = 0          # idle flags between frames
+        self.aborts = 0
+        self.oversize_drops = 0
+        #: Typed records of every rejected frame (abort/oversize), in
+        #: arrival order — the errors.py hierarchy as data, not raises.
+        self.faults: List[FramingError] = []
 
     def capacity_needs(self):
         # One PHY word of tiny frames can burst W+2 beats (the room
@@ -87,13 +121,18 @@ class WordDelineator(Module):
                 self.octets_discarded_hunting += 1
             return
         if octet == self.flag_octet:
-            if self._carry:
+            if self._carry and self._carry[-1] == self.esc_octet:
+                self._abort_frame()
+            elif self._carry or self._emitted:
                 self._close_frame()
             else:
                 self.empty_bodies += 1
             self._sof_pending = True
             return
         self._carry.append(octet)
+        self._body_octets += 1
+        if self.max_frame_octets and self._body_octets > self.max_frame_octets:
+            self._oversize_frame()
 
     def _emit_words(self) -> None:
         # Strictly-greater-than: hold one word back (see class docs).
@@ -104,6 +143,7 @@ class WordDelineator(Module):
                 WordBeat.from_bytes(word, self.width_bytes, sof=self._sof_pending)
             )
             self._sof_pending = False
+            self._emitted = True
 
     def _close_frame(self) -> None:
         # Flush everything held back; may be up to 2W-? bytes if the
@@ -121,6 +161,41 @@ class WordDelineator(Module):
             )
             self._sof_pending = False
         self.frames_delineated += 1
+        self._reset_frame()
+
+    def _abort_frame(self) -> None:
+        """RFC 1662 abort: ``<ESC> <FLAG>`` discards the frame in progress."""
+        self.aborts += 1
+        self.faults.append(AbortError(
+            f"{self.name}: abort sequence after {self._body_octets} body octets"
+        ))
+        if self._emitted:
+            # Part of the aborted frame already shipped: close it with
+            # an eof (trailing escape and all) so the escape/CRC stages
+            # cannot merge the next frame into it; it fails its FCS.
+            self._close_frame()
+        else:
+            self._carry.clear()
+            self._reset_frame()
+
+    def _oversize_frame(self) -> None:
+        """Oversize cut: drop the runaway frame and re-hunt for a flag."""
+        self.oversize_drops += 1
+        self.faults.append(OversizeFrameError(
+            f"{self.name}: frame body exceeded {self.max_frame_octets} octets"
+        ))
+        if self._emitted:
+            self._close_frame()
+        else:
+            self._carry.clear()
+            self._reset_frame()
+        # Everything until the next flag is un-frameable noise; the
+        # hunt counter accounts for it as discarded octets.
+        self._synced = False
+
+    def _reset_frame(self) -> None:
+        self._body_octets = 0
+        self._emitted = False
 
 
 class RxFrameSink(Module):
@@ -130,17 +205,33 @@ class RxFrameSink(Module):
     checker's verdicts.  ``frames`` holds ``(content, good)`` tuples —
     the paper's "receiver unpacketises and extracts the encapsulated
     datagram".
+
+    The optional :attr:`stall` pattern models memory-bus contention on
+    the write port (the fault campaigns' backpressure storms): on
+    stalled cycles the sink deasserts ready and the stall ripples back
+    up the pipeline, which must absorb it without losing a frame.
     """
 
-    def __init__(self, name: str, inp: Channel, crc: CrcCheck) -> None:
+    def __init__(
+        self,
+        name: str,
+        inp: Channel,
+        crc: CrcCheck,
+        *,
+        stall: Optional[StallPattern] = None,
+    ) -> None:
         super().__init__(name)
         self.inp = self.reads(inp)
         self.crc = crc
+        self.stall = stall
         self._current = bytearray()
         self.frames: List[Tuple[bytes, bool]] = []
         self._verdict_cursor = 0
 
     def clock(self) -> None:
+        if self.stall is not None and self.stall.active(self.cycles):
+            self.note_stall()
+            return
         if not self.inp.can_pop:
             return
         beat: WordBeat = self.inp.pop()
@@ -177,6 +268,8 @@ class P5Receiver:
         self.delineator = WordDelineator(
             f"{name}.delin", self.phy_in, self.ch_body,
             width_bytes=w, flag_octet=config.flag_octet,
+            esc_octet=config.esc_octet,
+            max_frame_octets=config.max_frame_octets,
         )
         self.escape = PipelinedEscapeDetect(
             f"{name}.escdet", self.ch_body, self.ch_clear,
@@ -200,6 +293,11 @@ class P5Receiver:
     def frames(self) -> List[Tuple[bytes, bool]]:
         """All received frames with verdicts."""
         return self.sink.frames
+
+    @property
+    def faults(self) -> List[FramingError]:
+        """Typed framing rejections seen anywhere in the receive path."""
+        return list(self.delineator.faults) + list(self.crc.faults)
 
     def good_frames(self) -> List[bytes]:
         return self.sink.good_frames()

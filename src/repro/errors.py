@@ -88,6 +88,24 @@ class BackpressureOverflow(SimulationError):
     """
 
 
+class PipelineStallError(SimulationError):
+    """The cycle-budget watchdog saw no pipeline activity for too long.
+
+    Raised by :meth:`repro.rtl.simulator.Simulator.run_until` (and
+    ``drain``) when no channel moves a word for ``watchdog`` cycles
+    while the run condition is still unmet — a wedged handshake.  The
+    :attr:`diagnostic` dict carries the per-module clock/stall counts
+    and per-channel occupancy so the deadlock is debuggable from the
+    exception alone, instead of from a spinning process.
+    """
+
+    def __init__(self, message: str, *, diagnostic=None) -> None:
+        super().__init__(message)
+        #: Structured stall report: ``{"cycle", "quiet_cycles",
+        #: "modules": [...], "channels": [...]}``.
+        self.diagnostic = diagnostic or {}
+
+
 class SynthesisError(ReproError):
     """The synthesis cost model could not map or fit a design."""
 

@@ -1,0 +1,59 @@
+"""repro.faults — layered fault-injection campaigns for the P5.
+
+The package turns the ad-hoc error-injection helpers scattered around
+the library (:class:`~repro.phy.line.BitErrorLine`, ``PhyWire``'s
+``corrupt`` hook, :class:`~repro.rtl.pipeline.StallPattern`) into a
+systematic robustness harness:
+
+* :mod:`repro.faults.injectors` — the fault sources: a
+  :class:`BeatFaultInjector` module spliced into the PHY hop (bit and
+  burst flips, beat drops, duplications, lane-valid upsets),
+  :func:`backpressure_storm` patterns for the receive sink, and
+  :class:`OamRegisterUpset` for host-bus register soft errors.
+* :mod:`repro.faults.campaign` — seeded, reproducible campaigns: many
+  independent trials, each one loopback exchange with exactly one
+  fault, run under the simulator watchdog.
+* :mod:`repro.faults.invariants` — the recovery contract checked after
+  every trial (resync, bounded damage, no deadlock, OAM/ground-truth
+  reconciliation).
+* :mod:`repro.faults.report` — stable text/JSON reporters mirroring
+  :mod:`repro.lint.report`.
+"""
+
+from repro.faults.campaign import (
+    LAYERS,
+    CampaignConfig,
+    CampaignResult,
+    TrialSummary,
+    build_fault_harness,
+    run_campaign,
+)
+from repro.faults.injectors import (
+    MAX_BURST_BITS,
+    BeatFaultInjector,
+    FaultEvent,
+    OamRegisterUpset,
+    backpressure_storm,
+)
+from repro.faults.invariants import Violation, check_trial, match_frames
+from repro.faults.report import JSON_SCHEMA_VERSION, render_json, render_text
+
+__all__ = [
+    "LAYERS",
+    "CampaignConfig",
+    "CampaignResult",
+    "TrialSummary",
+    "build_fault_harness",
+    "run_campaign",
+    "MAX_BURST_BITS",
+    "BeatFaultInjector",
+    "FaultEvent",
+    "OamRegisterUpset",
+    "backpressure_storm",
+    "Violation",
+    "check_trial",
+    "match_frames",
+    "JSON_SCHEMA_VERSION",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,84 @@
+"""Text and JSON reporters for campaign results.
+
+Same contract as :mod:`repro.lint.report`: output is *stable* (trials
+are already in index order, violations are reported in trial order)
+and the JSON schema carries an explicit version so CI consumers can
+parse it defensively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.faults.campaign import LAYERS, CampaignResult
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _layer_summary(result: CampaignResult) -> Dict[str, Dict[str, int]]:
+    table: Dict[str, Dict[str, int]] = {
+        layer: {"trials": 0, "damaged_frames": 0, "violations": 0}
+        for layer in LAYERS
+    }
+    for trial in result.trials:
+        row = table[trial.layer]
+        row["trials"] += 1
+        row["damaged_frames"] += trial.damaged
+        row["violations"] += len(trial.violations)
+    return table
+
+
+def render_text(result: CampaignResult) -> str:
+    """Human-readable campaign report with a per-layer table."""
+    cfg = result.config
+    lines = [
+        f"fault campaign: {cfg.faults} faults, seed {cfg.seed}, "
+        f"width {cfg.width_bits} bits, {cfg.frames_per_trial} frames/trial",
+    ]
+    table = _layer_summary(result)
+    for layer in LAYERS:
+        row = table[layer]
+        lines.append(
+            f"  {layer:<13} {row['trials']:>4} trials, "
+            f"{row['damaged_frames']:>4} damaged frames, "
+            f"{row['violations']:>3} violations"
+        )
+    lines.append(
+        f"  line ground truth: {result.line_stats.bits_flipped} bits flipped "
+        f"over {result.line_stats.bits_sent} sent "
+        f"({result.line_stats.bursts} bursts)"
+    )
+    for violation in result.violations:
+        lines.append(violation.render())
+    if result.ok:
+        lines.append("clean: no invariant violations")
+    else:
+        lines.append(f"{len(result.violations)} invariant violation(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: CampaignResult) -> str:
+    """Machine-parseable report (sorted keys, stable ordering)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "config": {
+            "faults": result.config.faults,
+            "seed": result.config.seed,
+            "width_bits": result.config.width_bits,
+            "frames_per_trial": result.config.frames_per_trial,
+            "frame_octets": list(result.config.frame_octets),
+            "max_damaged": result.config.max_damaged,
+            "watchdog": result.config.watchdog,
+            "timeout": result.config.timeout,
+            "max_frame_octets": result.config.max_frame_octets,
+        },
+        "layers": _layer_summary(result),
+        "line_stats": result.line_stats.as_dict(),
+        "damaged_frames": result.damaged_total(),
+        "violations": [v.as_dict() for v in result.violations],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

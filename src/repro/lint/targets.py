@@ -6,7 +6,8 @@ step a hardware DRC runs against.  Each entry covers a distinct
 wiring shape: the full cross-connected duplex system at both datapath
 widths (4-stage and 2-stage escape pipelines), a standalone TX
 pipeline drained by a sink, a standalone RX pipeline fed by a source,
-and the single-unit trace harness from the CLI.
+the single-unit trace harness from the CLI, and the fault-injection
+loopback harness (TX looped to RX through a BeatFaultInjector).
 """
 
 from __future__ import annotations
@@ -50,5 +51,12 @@ def shipped_topologies() -> List[Tuple[str, Sequence[Module], Iterable[Channel]]
     unit = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
     sink = StreamSink("sink", c_out)
     topologies.append(("escape-trace", [source, unit, sink], [c_in, c_out]))
+
+    from repro.faults.campaign import build_fault_harness
+
+    _system, _injector, fault_sim = build_fault_harness(
+        P5Config.thirty_two_bit(max_frame_octets=512)
+    )
+    topologies.append(("fault-harness", fault_sim.modules, fault_sim.channels))
 
     return topologies

@@ -9,7 +9,13 @@ systems" through a simplified PHY interface; likewise here:
   beats and the serial octet stream.
 """
 
-from repro.phy.line import BitErrorLine, make_beat_corruptor
+from repro.phy.line import BitErrorLine, LineStats, make_beat_corruptor
 from repro.phy.serdes import deserialize, serialize
 
-__all__ = ["BitErrorLine", "make_beat_corruptor", "serialize", "deserialize"]
+__all__ = [
+    "BitErrorLine",
+    "LineStats",
+    "make_beat_corruptor",
+    "serialize",
+    "deserialize",
+]

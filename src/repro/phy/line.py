@@ -2,14 +2,54 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 import numpy as np
 
 from repro.rtl.pipeline import WordBeat
 from repro.utils.rng import SeedLike, make_rng
 
-__all__ = ["BitErrorLine", "make_beat_corruptor"]
+__all__ = ["LineStats", "BitErrorLine", "make_beat_corruptor"]
+
+
+@dataclass
+class LineStats:
+    """Ground-truth statistics of one error-injecting line.
+
+    Shared by every injection path (:meth:`BitErrorLine.transmit`,
+    :meth:`BitErrorLine.burst`, the beat corruptor and the campaign
+    injectors) so reconciliation checks can compare what the line
+    *actually did* against what the receiver's OAM counters report.
+    """
+
+    bits_sent: int = 0
+    bits_flipped: int = 0
+    transmits: int = 0
+    bursts: int = 0
+
+    @property
+    def observed_ber(self) -> float:
+        """Measured flip rate so far."""
+        return self.bits_flipped / self.bits_sent if self.bits_sent else 0.0
+
+    def merge(self, other: "LineStats") -> "LineStats":
+        """Element-wise sum (combining multiple lines' ground truth)."""
+        return LineStats(
+            bits_sent=self.bits_sent + other.bits_sent,
+            bits_flipped=self.bits_flipped + other.bits_flipped,
+            transmits=self.transmits + other.transmits,
+            bursts=self.bursts + other.bursts,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "bits_sent": self.bits_sent,
+            "bits_flipped": self.bits_flipped,
+            "transmits": self.transmits,
+            "bursts": self.bursts,
+        }
 
 
 class BitErrorLine:
@@ -17,7 +57,9 @@ class BitErrorLine:
 
     Each transmitted bit is flipped independently with probability
     ``ber``.  Vectorised: a whole buffer's error mask is drawn in one
-    numpy call.
+    numpy call.  All accounting lives in :attr:`stats` (a shared
+    :class:`LineStats`); the ``bits_sent``/``bits_flipped`` properties
+    are convenience views of it.
     """
 
     def __init__(self, ber: float, seed: SeedLike = None) -> None:
@@ -25,35 +67,52 @@ class BitErrorLine:
             raise ValueError("BER must be in [0, 1]")
         self.ber = ber
         self._rng = make_rng(seed)
-        self.bits_sent = 0
-        self.bits_flipped = 0
+        self.stats = LineStats()
+
+    @property
+    def bits_sent(self) -> int:
+        return self.stats.bits_sent
+
+    @property
+    def bits_flipped(self) -> int:
+        return self.stats.bits_flipped
 
     def transmit(self, data: bytes) -> bytes:
         """Pass ``data`` through the channel."""
         arr = np.frombuffer(data, dtype=np.uint8)
-        self.bits_sent += 8 * arr.size
+        self.stats.transmits += 1
+        self.stats.bits_sent += 8 * arr.size
         if self.ber == 0.0 or arr.size == 0:
             return data
         flips = self._rng.random((arr.size, 8)) < self.ber
         n_flips = int(flips.sum())
         if n_flips == 0:
             return data
-        self.bits_flipped += n_flips
+        self.stats.bits_flipped += n_flips
         masks = np.packbits(flips, axis=1, bitorder="little").reshape(-1)
         return (arr ^ masks).tobytes()
 
     def burst(self, data: bytes, start_bit: int, length_bits: int) -> bytes:
-        """Deterministically flip a contiguous bit range (burst error)."""
+        """Deterministically flip a contiguous bit range (burst error).
+
+        Accounts ``bits_sent`` exactly as :meth:`transmit` does (the
+        whole buffer crossed the line) so :attr:`LineStats.observed_ber`
+        stays meaningful when the two are mixed.
+        """
+        self.stats.bursts += 1
+        self.stats.bits_sent += 8 * len(data)
+        if not data:
+            return data
         bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
         end = min(start_bit + length_bits, bits.size)
         bits[start_bit:end] ^= 1
-        self.bits_flipped += max(0, end - start_bit)
+        self.stats.bits_flipped += max(0, end - start_bit)
         return np.packbits(bits).tobytes()
 
     @property
     def observed_ber(self) -> float:
         """Measured flip rate so far."""
-        return self.bits_flipped / self.bits_sent if self.bits_sent else 0.0
+        return self.stats.observed_ber
 
 
 def make_beat_corruptor(

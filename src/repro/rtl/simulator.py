@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import PipelineStallError, SimulationError
 from repro.rtl.module import Channel, Module
 
 __all__ = ["Simulator"]
@@ -23,6 +23,13 @@ class Simulator:
     channels:
         Optional channel list for tracing/statistics; purely
         observational.
+    watchdog:
+        Default no-progress budget (in cycles) for :meth:`run_until`
+        and :meth:`drain`.  When set, a run that sees no channel
+        activity for this many consecutive cycles raises
+        :class:`~repro.errors.PipelineStallError` with a per-module
+        occupancy diagnostic instead of spinning to the timeout.
+        ``None`` (the default) disables the watchdog.
     """
 
     def __init__(
@@ -31,6 +38,7 @@ class Simulator:
         channels: Sequence[Channel] = (),
         *,
         max_cycles: int = 10_000_000,
+        watchdog: Optional[int] = None,
     ) -> None:
         if not modules:
             raise ValueError("simulator needs at least one module")
@@ -38,7 +46,9 @@ class Simulator:
         self.channels: List[Channel] = list(channels)
         self.cycle = 0
         self.max_cycles = max_cycles
+        self.watchdog = watchdog
         self._observers: List[Callable[[int], None]] = []
+        self._watched: Optional[List[Channel]] = None
 
     def add_observer(self, callback: Callable[[int], None]) -> None:
         """Register a per-cycle callback (called after each step)."""
@@ -53,39 +63,133 @@ class Simulator:
             for callback in self._observers:
                 callback(self.cycle)
 
+    # ----------------------------------------------------------- watchdog
+    def _watch_channels(self) -> List[Channel]:
+        """The channels the watchdog observes: the declared list plus
+        everything the modules wired (so forgetting to pass a channel
+        cannot blind the watchdog to its activity)."""
+        if self._watched is None:
+            seen: List[Channel] = list(self.channels)
+            ids = {id(ch) for ch in seen}
+            for module in self.modules:
+                for channel in list(module.writes_to) + list(module.reads_from):
+                    if id(channel) not in ids:
+                        ids.add(id(channel))
+                        seen.append(channel)
+            self._watched = seen
+        return self._watched
+
+    def _activity(self) -> int:
+        """Monotone counter of all channel traffic ever moved."""
+        return sum(ch.pushes + ch.pops for ch in self._watch_channels())
+
+    def stall_diagnostic(self, quiet_cycles: int) -> Dict[str, Any]:
+        """Structured snapshot of where the pipeline is wedged."""
+        return {
+            "cycle": self.cycle,
+            "quiet_cycles": quiet_cycles,
+            "modules": [
+                {
+                    "name": module.name,
+                    "cycles": module.cycles,
+                    "stalled_cycles": module.stalled_cycles,
+                }
+                for module in self.modules
+            ],
+            "channels": [
+                {
+                    "name": ch.name,
+                    "occupancy": ch.occupancy,
+                    "capacity": ch.capacity,
+                }
+                for ch in self._watch_channels()
+            ],
+        }
+
+    def _raise_stall(self, quiet_cycles: int) -> None:
+        diagnostic = self.stall_diagnostic(quiet_cycles)
+        occupied = [
+            f"{c['name']}={c['occupancy']}/{c['capacity']}"
+            for c in diagnostic["channels"]
+            if c["occupancy"]
+        ]
+        stalled = sorted(
+            diagnostic["modules"], key=lambda m: -m["stalled_cycles"]
+        )[:4]
+        module_part = ", ".join(
+            f"{m['name']} stalled {m['stalled_cycles']}/{m['cycles']}"
+            for m in stalled
+        )
+        raise PipelineStallError(
+            f"pipeline stalled: no channel activity for {quiet_cycles} "
+            f"cycles (at cycle {self.cycle}); "
+            f"occupied channels: {', '.join(occupied) or 'none'}; "
+            f"module stalls: {module_part or 'none'}",
+            diagnostic=diagnostic,
+        )
+
+    # ---------------------------------------------------------------- runs
     def run_until(
         self,
         condition: Callable[[], bool],
         *,
         timeout: Optional[int] = None,
+        watchdog: Optional[int] = None,
     ) -> int:
         """Step until ``condition()`` is true; returns cycles elapsed.
 
         Raises :class:`~repro.errors.SimulationError` on timeout —
-        which in the P5 tests usually means a deadlocked handshake.
+        which in the P5 tests usually means a deadlocked handshake —
+        and :class:`~repro.errors.PipelineStallError` (with a
+        per-module occupancy diagnostic) if a watchdog budget is set
+        and no channel moves a word for that many cycles first.
         """
         limit = timeout if timeout is not None else self.max_cycles
+        budget = watchdog if watchdog is not None else self.watchdog
         start = self.cycle
+        last_activity = self._activity()
+        quiet_since = self.cycle
         while not condition():
             if self.cycle - start >= limit:
                 raise SimulationError(
                     f"condition not reached within {limit} cycles "
                     f"(started at {start}, now {self.cycle})"
                 )
+            if budget is not None and self.cycle - quiet_since >= budget:
+                self._raise_stall(self.cycle - quiet_since)
             self.step()
+            activity = self._activity()
+            if activity != last_activity:
+                last_activity = activity
+                quiet_since = self.cycle
         return self.cycle - start
 
-    def drain(self, *, idle_cycles: int = 4, timeout: Optional[int] = None) -> int:
+    def drain(
+        self,
+        *,
+        idle_cycles: int = 4,
+        timeout: Optional[int] = None,
+        watchdog: Optional[int] = None,
+    ) -> int:
         """Run until no channel holds data for ``idle_cycles`` in a row."""
         idle = 0
         start = self.cycle
         limit = timeout if timeout is not None else self.max_cycles
+        budget = watchdog if watchdog is not None else self.watchdog
+        last_activity = self._activity()
+        quiet_since = self.cycle
 
         while idle < idle_cycles:
             if self.cycle - start >= limit:
                 raise SimulationError(f"drain did not complete within {limit} cycles")
+            if budget is not None and self.cycle - quiet_since >= budget:
+                self._raise_stall(self.cycle - quiet_since)
             busy_before = any(ch.can_pop for ch in self.channels)
             self.step()
             busy_after = any(ch.can_pop for ch in self.channels)
             idle = 0 if (busy_before or busy_after) else idle + 1
+            activity = self._activity()
+            if activity != last_activity:
+                last_activity = activity
+                quiet_since = self.cycle
         return self.cycle - start

@@ -1,0 +1,119 @@
+"""Campaign runner: harness wiring, determinism, and the smoke gate."""
+
+import pytest
+
+from repro.core.config import P5Config
+from repro.faults import (
+    LAYERS,
+    CampaignConfig,
+    build_fault_harness,
+    render_json,
+    run_campaign,
+)
+from repro.faults.campaign import _fault_window_beats
+from repro.faults.injectors import BeatFaultInjector
+
+
+class TestHarness:
+    def test_injector_sits_on_the_loopback_wire(self):
+        system, injector, sim = build_fault_harness()
+        assert isinstance(injector, BeatFaultInjector)
+        assert injector.inp is system.tx.phy_out
+        assert injector.out is system.rx.phy_in
+        assert injector in sim.modules
+
+    def test_clean_exchange_with_no_fault_armed(self, rng):
+        system, _injector, sim = build_fault_harness(watchdog=2000)
+        frames = [rng.integers(0, 256, n, dtype="uint8").tobytes()
+                  for n in (24, 48, 72)]
+        for frame in frames:
+            system.submit(frame)
+        sim.run_until(
+            lambda: not system.tx.busy
+            and not any(ch.can_pop for ch in system.channels)
+            and system.rx.escape.idle,
+            timeout=100_000,
+        )
+        assert system.rx.sink.good_frames() == frames
+        # The observer serviced the OAM: the RX-frame IRQ is pending.
+        assert system.oam.irq_asserted
+
+    def test_fault_window_spares_the_recovery_probe(self):
+        frames = [bytes(24)] * 6
+        window = _fault_window_beats(frames, 4)
+        # Window covers the first three frames' wire span only.
+        assert window == 3 * (24 + 6) // 4
+        # Degenerate: too few frames still yields a usable window.
+        assert _fault_window_beats([bytes(8)], 4) == 1
+
+
+class TestCampaign:
+    def test_layers_rotate_round_robin(self):
+        result = run_campaign(CampaignConfig(faults=8, seed=2))
+        assert result.by_layer() == {layer: 2 for layer in LAYERS}
+        assert [t.layer for t in result.trials[:4]] == list(LAYERS)
+
+    def test_same_seed_is_bit_identical(self):
+        cfg = CampaignConfig(faults=8, seed=5)
+        assert render_json(run_campaign(cfg)) == render_json(run_campaign(cfg))
+
+    def test_different_seeds_differ(self):
+        a = run_campaign(CampaignConfig(faults=8, seed=1))
+        b = run_campaign(CampaignConfig(faults=8, seed=2))
+        assert render_json(a) != render_json(b)
+
+    def test_trials_carry_reproduction_context(self):
+        result = run_campaign(CampaignConfig(faults=4, seed=3))
+        for trial in result.trials:
+            assert trial.layer in LAYERS
+            assert trial.kind != "none" or trial.layer == "backpressure"
+            assert trial.cycles > 0
+            assert trial.frames == result.config.frames_per_trial
+            assert not trial.stalled
+        line_trial = result.trials[0]
+        assert line_trial.event is not None
+        assert line_trial.event.layer == "line"
+
+    def test_line_stats_aggregate_across_trials(self):
+        result = run_campaign(CampaignConfig(faults=8, seed=4))
+        flips = sum(
+            t.event.detail.get("bits", 0)
+            for t in result.trials
+            if t.layer == "line" and t.event is not None
+        )
+        assert result.line_stats.bits_flipped == flips
+
+    def test_narrow_datapath_campaign(self):
+        result = run_campaign(CampaignConfig(faults=8, seed=6, width_bits=8))
+        assert result.ok, [v.render() for v in result.violations]
+
+
+class TestSmokeGate:
+    def test_smoke_campaign_is_clean(self):
+        """The acceptance gate: >= 200 faults over all four layers,
+        zero invariant violations (the CI smoke configuration)."""
+        result = run_campaign(CampaignConfig())
+        assert result.config.faults >= 200
+        assert all(count >= 50 for count in result.by_layer().values())
+        assert result.ok, [v.render() for v in result.violations]
+        assert not any(t.stalled for t in result.trials)
+        # Line and beat faults really did damage frames (the campaign
+        # is not vacuously clean) ...
+        assert result.damaged_total() > 0
+        # ... while the non-destructive layers damaged nothing.
+        for trial in result.trials:
+            if trial.layer in ("backpressure", "oam"):
+                assert trial.damaged == 0
+
+
+class TestConfigValidation:
+    def test_oversize_bound_flows_into_p5config(self):
+        cfg = CampaignConfig()
+        assert cfg.max_frame_octets == 512
+        assert P5Config(
+            width_bits=cfg.width_bits, max_frame_octets=cfg.max_frame_octets
+        ).max_frame_octets == 512
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            CampaignConfig().faults = 7

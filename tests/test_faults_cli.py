@@ -1,0 +1,58 @@
+"""The ``repro faults`` subcommand: exit codes and reporter output."""
+
+import json
+
+from repro.cli import main
+from repro.faults import JSON_SCHEMA_VERSION, LAYERS
+
+
+def test_quick_campaign_exits_zero(capsys):
+    assert main(["faults", "--campaign", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fault campaign: 24 faults" in out
+    assert "clean: no invariant violations" in out
+
+
+def test_explicit_fault_count_overrides_preset(capsys):
+    assert main(["faults", "--faults", "8", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "8 faults, seed 3" in out
+
+
+def test_zero_faults_is_a_clean_cli_error(capsys):
+    assert main(["faults", "--faults", "0"]) == 2
+    assert "--faults must be >= 1" in capsys.readouterr().err
+
+
+def test_json_output_is_machine_parseable(capsys):
+    assert main(["faults", "--faults", "8", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+    assert payload["config"]["faults"] == 8
+    assert set(payload["layers"]) == set(LAYERS)
+    for row in payload["layers"].values():
+        assert set(row) == {"trials", "damaged_frames", "violations"}
+    assert payload["line_stats"]["bits_sent"] > 0
+
+
+def test_json_shorthand_flag(capsys):
+    assert main(["faults", "--faults", "4", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_json_output_is_stable_across_runs(capsys):
+    args = ["faults", "--faults", "8", "--seed", "9", "--json"]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_width_selects_the_datapath(capsys):
+    assert main(["faults", "--faults", "4", "--width", "8", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["width_bits"] == 8
+    assert payload["ok"] is True

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.phy import BitErrorLine, deserialize, make_beat_corruptor, serialize
+from repro.phy import (
+    BitErrorLine,
+    LineStats,
+    deserialize,
+    make_beat_corruptor,
+    serialize,
+)
 from repro.rtl.pipeline import WordBeat
 
 
@@ -68,6 +74,42 @@ class TestBeatCorruptor:
         corrupt = make_beat_corruptor(1.0, seed=3)
         corrupt(WordBeat.from_bytes(b"\x00\x00\x00\x00", 4))
         assert corrupt.line.bits_flipped == 32
+
+
+class TestLineStats:
+    def test_burst_accounts_bits_sent_like_transmit(self):
+        line = BitErrorLine(0.0)
+        line.transmit(bytes(10))
+        line.burst(bytes(10), start_bit=0, length_bits=4)
+        assert line.stats.bits_sent == 160
+        assert line.stats.transmits == 1
+        assert line.stats.bursts == 1
+
+    def test_observed_ber_meaningful_under_mixed_traffic(self):
+        line = BitErrorLine(0.0)
+        line.transmit(bytes(16))          # 128 clean bits
+        line.burst(bytes(16), 8, 4)       # 128 more bits, 4 flipped
+        assert line.observed_ber == pytest.approx(4 / 256)
+
+    def test_merge_is_elementwise_sum(self):
+        a = LineStats(bits_sent=100, bits_flipped=3, transmits=2, bursts=1)
+        b = LineStats(bits_sent=60, bits_flipped=1, transmits=1, bursts=4)
+        merged = a.merge(b)
+        assert merged == LineStats(
+            bits_sent=160, bits_flipped=4, transmits=3, bursts=5
+        )
+        # merge() returns a fresh value; the operands are untouched.
+        assert a.bits_sent == 100 and b.bits_sent == 60
+
+    def test_as_dict_round_trip(self):
+        stats = LineStats(bits_sent=8, bits_flipped=1, transmits=1, bursts=0)
+        assert stats.as_dict() == {
+            "bits_sent": 8, "bits_flipped": 1, "transmits": 1, "bursts": 0,
+        }
+        assert LineStats(**stats.as_dict()) == stats
+
+    def test_empty_stats_have_zero_ber(self):
+        assert LineStats().observed_ber == 0.0
 
 
 class TestSerdes:
