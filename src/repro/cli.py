@@ -15,6 +15,10 @@ Subcommands
 ``lint``
     Static design-rule checks: graph DRC over the shipped topologies
     plus the ready/valid AST lint over the source tree.
+``sta``
+    Static timing, buffer-sizing and deadlock analysis over the
+    canonical duplex topologies, held to the paper's latency budgets
+    (see :mod:`repro.sta`).
 ``faults``
     Seeded fault-injection campaigns over the loopback datapath with
     recovery-invariant checking (see :mod:`repro.faults`).
@@ -68,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser("lint", help="static DRC + ready/valid AST lint")
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     p_lint.add_argument(
@@ -85,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the AST discipline lint",
     )
     p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+
+    p_sta = sub.add_parser(
+        "sta", help="static timing / buffer-sizing / deadlock analysis"
+    )
+    p_sta.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    p_sta.add_argument(
+        "--clock-mhz", type=float, default=78.125,
+        help="line clock for cycle-to-ns conversion (default: 78.125, "
+             "the OC-48 word clock)",
+    )
+    p_sta.add_argument(
         "--strict", action="store_true",
         help="exit non-zero on warnings as well as errors",
     )
@@ -249,8 +270,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         findings.extend(lint.lint_paths(paths))
 
+    return _report_findings(findings, args)
+
+
+def _report_findings(findings, args: argparse.Namespace) -> int:
+    from repro import lint
+
     if args.format == "json":
         print(lint.render_json(findings))
+    elif args.format == "sarif":
+        print(lint.render_sarif(findings))
     else:
         print(lint.render_text(findings))
     if lint.has_errors(findings):
@@ -258,6 +287,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.strict and findings:
         return 1
     return 0
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    from repro import sta
+
+    if args.clock_mhz <= 0:
+        print("repro sta: error: --clock-mhz must be positive", file=sys.stderr)
+        return 2
+    findings = sta.canonical_findings(clock_hz=args.clock_mhz * 1e6)
+    return _report_findings(findings, args)
 
 
 _CAMPAIGN_PRESETS = {"quick": 24, "smoke": 208, "soak": 1000}
@@ -298,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_duplex(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sta":
+        return _cmd_sta(args)
     if args.command == "faults":
         return _cmd_faults(args)
     return 2  # pragma: no cover - argparse enforces the choices

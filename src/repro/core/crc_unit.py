@@ -27,7 +27,7 @@ from typing import List
 from repro.crc import CrcSpec
 from repro.crc.parallel import ParallelCrc
 from repro.errors import FcsError, FramingError, RuntFrameError
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.pipeline import WordBeat
 
 __all__ = ["CrcGenerate", "CrcCheck", "CrcUnit"]
@@ -71,6 +71,21 @@ class CrcGenerate(Module):
         w = self.width_bytes
         words = (2 * w - 1 + self.fcs_octets) // w + 1
         return [(self.out, words, "end-of-frame content+FCS flush burst")]
+
+    def timing_contract(self) -> TimingContract:
+        w = self.width_bytes
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # Content streams through 1:1; the FCS trailer is
+                    # per-frame overhead.
+                    per_frame_octets=self.fcs_octets,
+                    burst_words=(2 * w - 1 + self.fcs_octets) // w + 1,
+                ),
+            ),
+        )
 
     def clock(self) -> None:
         if not self.inp.can_pop:
@@ -167,6 +182,23 @@ class CrcCheck(Module):
     @property
     def fcs_octets(self) -> int:
         return self.spec.width // 8
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            # The holdback delays the first release until fcs_octets
+            # of lookahead exist: fcs_octets + 1 cycles covers dense
+            # input at any datapath width (tight at W=1).
+            latency_cycles=self.fcs_octets + 1,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # The stripped FCS (and swallowed runts) contract
+                    # the stream; nothing ever grows it.
+                    min_expansion=0.0,
+                    burst_words=2,
+                ),
+            ),
+        )
 
     def clock(self) -> None:
         if not self.inp.can_pop:

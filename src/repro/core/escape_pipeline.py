@@ -40,7 +40,7 @@ from typing import Deque, FrozenSet, List, Optional
 from repro.core.escape_det import contract_word
 from repro.core.escape_gen import expand_word
 from repro.hdlc.constants import ESC_OCTET, FLAG_OCTET
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import BufferBound, Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.pipeline import WordBeat
 
 __all__ = ["PipelinedEscapeGenerate", "PipelinedEscapeDetect"]
@@ -225,6 +225,20 @@ class _EscapePipelineBase(Module):
         self.words_in += 1
         self.bytes_in += beat.n_valid
 
+    def _resync_bound(self) -> BufferBound:
+        """The paper's "extremely low" buffer, as a checkable bound."""
+        return BufferBound(
+            name="resync",
+            capacity=self.resync_capacity,
+            # One worst-case job completes 3 words (carry W-1 octets +
+            # 2W expanded octets + an eof flush); the sort stage's
+            # pre-check keeps occupancy within whatever the buffer
+            # holds, but below 3 it deadlocks against itself.
+            min_required=3,
+            peak_attr="max_resync_occupancy",
+            why="one maximally expanded job (carry + 2W octets + eof flush)",
+        )
+
     # ---------------------------------------------------------------- status
     @property
     def idle(self) -> bool:
@@ -273,6 +287,23 @@ class PipelinedEscapeGenerate(_EscapePipelineBase):
         self.octets_escaped += len(expanded) - beat.n_valid
         return expanded
 
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            # "The first data transmitted is therefore delayed by 4
+            # clock cycles, approximately 50ns": one cycle per stage
+            # from intake to first emission.
+            latency_cycles=self.pipeline_stages,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # Stuffing at worst doubles every octet (all-flag
+                    # payload); it never deletes.
+                    max_expansion=2.0,
+                ),
+            ),
+            buffers=(self._resync_bound(),),
+        )
+
 
 class PipelinedEscapeDetect(_EscapePipelineBase):
     """The receive-side unit: delete escapes, fill the bubbles.
@@ -318,3 +349,21 @@ class PipelinedEscapeDetect(_EscapePipelineBase):
             self.dangling_escape_errors += 1
             self._pending_xor = False
         return contracted
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            # One cycle per stage, plus one: contraction can leave the
+            # first job short of a full word, deferring the first
+            # emission until the second job tops up the carry.
+            latency_cycles=self.pipeline_stages + 1,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # Destuffing only deletes; at worst every second
+                    # octet is an escape and the stream halves.
+                    max_expansion=1.0,
+                    min_expansion=0.5,
+                ),
+            ),
+            buffers=(self._resync_bound(),),
+        )

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError, SimulationError
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.pipeline import WordBeat
 
 __all__ = [
@@ -192,6 +192,12 @@ class DmaTxFrameSource(Module):
             self.frames_fetched += 1
             self._cursor = 0
 
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(ChannelTiming(self.out),),
+        )
+
 
 class DmaRxFrameSink(Module):
     """Receive DMA: assembles beats into ring buffers with status.
@@ -253,6 +259,9 @@ class DmaRxFrameSink(Module):
         status = EOF_FLAG | (0 if good else ERR_FLAG)
         self.ring.hw_complete(status=status, length=len(stored))
         self.frames_stored += 1
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(latency_cycles=1)
 
     def host_collect(self) -> List[Tuple[bytes, bool]]:
         """Host-side helper: reclaim all completed RX descriptors."""

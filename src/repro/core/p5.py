@@ -16,7 +16,7 @@ from repro.core.config import P5Config
 from repro.core.oam import ProtocolOam
 from repro.core.rx import P5Receiver
 from repro.core.tx import P5Transmitter
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.simulator import Simulator
 
 __all__ = ["PhyWire", "P5System", "DuplexResult", "run_duplex_exchange"]
@@ -45,6 +45,12 @@ class PhyWire(Module):
                 beat = self.corrupt(beat)
             self.out.push(beat)
             self.words_moved += 1
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(ChannelTiming(self.out),),
+        )
 
 
 class P5System:

@@ -26,7 +26,7 @@ from repro.core.crc_unit import CrcCheck
 from repro.core.escape_pipeline import PipelinedEscapeDetect
 from repro.errors import AbortError, FramingError, OversizeFrameError
 from repro.hdlc.constants import ESC_OCTET, FLAG_OCTET
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.pipeline import StallPattern, WordBeat
 
 __all__ = ["WordDelineator", "RxFrameSink", "P5Receiver"]
@@ -98,6 +98,25 @@ class WordDelineator(Module):
         # One PHY word of tiny frames can burst W+2 beats (the room
         # check in clock()); anything shallower deadlocks the hunt.
         return [(self.out, self.width_bytes + 2, "worst-case tiny-frame burst")]
+
+    def timing_contract(self) -> TimingContract:
+        # Structural latency is 2 cycles (the one-word holdback), but
+        # the *first* emission also waits for flag alignment — a
+        # property of the traffic, not the structure — so the latency
+        # is a steady-state figure, not a run-time bound.
+        return TimingContract(
+            latency_cycles=2,
+            latency_is_bound=False,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # Flags and hunt noise are stripped: the body can
+                    # contract all the way to nothing (idle flag fill).
+                    min_expansion=0.0,
+                    burst_words=self.width_bytes + 2,
+                ),
+            ),
+        )
 
     def clock(self) -> None:
         if not self.inp.can_pop:
@@ -250,6 +269,11 @@ class RxFrameSink(Module):
     def good_frames(self) -> List[bytes]:
         """Contents of frames that passed the FCS check."""
         return [content for content, good in self.frames if good]
+
+    def timing_contract(self) -> TimingContract:
+        # Terminal stage: one cycle to land a beat in receive memory;
+        # no output channels to constrain.
+        return TimingContract(latency_cycles=1)
 
 
 class P5Receiver:

@@ -16,7 +16,7 @@ from repro.core.config import P5Config
 from repro.core.crc_unit import CrcGenerate
 from repro.core.escape_pipeline import PipelinedEscapeGenerate
 from repro.hdlc.constants import FLAG_OCTET
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.rtl.pipeline import WordBeat, beats_from_bytes
 
 __all__ = ["TxFrameSource", "FlagInserter", "P5Transmitter"]
@@ -50,6 +50,14 @@ class TxFrameSource(Module):
     def busy(self) -> bool:
         """Data still waiting or in flight from this module."""
         return bool(self.queue or self._beats)
+
+    def timing_contract(self) -> TimingContract:
+        # One output register: a queued word reaches the channel on
+        # the cycle it is clocked.
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(ChannelTiming(self.out),),
+        )
 
     def clock(self) -> None:
         if not self.enabled:
@@ -99,6 +107,21 @@ class FlagInserter(Module):
         w = self.width_bytes
         words = (w - 1 + w + 2 + w - 1) // w
         return [(self.out, words, "eof flush burst of the flag wrapper")]
+
+    def timing_contract(self) -> TimingContract:
+        w = self.width_bytes
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(
+                ChannelTiming(
+                    self.out,
+                    # Content passes through untouched; the two wrapping
+                    # flags are per-frame overhead, not expansion.
+                    per_frame_octets=2,
+                    burst_words=(w - 1 + w + 2 + w - 1) // w,
+                ),
+            ),
+        )
 
     def clock(self) -> None:
         if not self.inp.can_pop:

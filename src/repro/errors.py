@@ -106,6 +106,23 @@ class PipelineStallError(SimulationError):
         self.diagnostic = diagnostic or {}
 
 
+class ContractViolationError(SimulationError):
+    """A run violated a module's declared :class:`TimingContract`.
+
+    Raised by the conformance monitor installed via
+    :meth:`repro.rtl.simulator.Simulator.enable_conformance` when a
+    module's observed first-word latency, output expansion or internal
+    buffer occupancy exceeds its static declaration.  The
+    :attr:`findings` list carries the corresponding ``P5T006`` lint
+    findings so test failures render the same way as analyzer output.
+    """
+
+    def __init__(self, message: str, *, findings=None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.lint.Finding` records behind the failure.
+        self.findings = list(findings or [])
+
+
 class SynthesisError(ReproError):
     """The synthesis cost model could not map or fit a design."""
 

@@ -43,7 +43,7 @@ from repro.core.oam import (
     ProtocolOam,
 )
 from repro.phy.line import BitErrorLine
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, Module, TimingContract
 from repro.rtl.pipeline import StallPattern, WordBeat
 from repro.utils.rng import SeedLike, make_rng
 
@@ -160,6 +160,12 @@ class BeatFaultInjector(Module):
 
     def capacity_needs(self):
         return [(self.out, 2, "a duplicated beat emits two words in one cycle")]
+
+    def timing_contract(self) -> TimingContract:
+        # Declares no output flow bounds: injected drops/dups exist to
+        # violate flow conservation, so only the latency and the dup
+        # burst are contractual.
+        return TimingContract(latency_cycles=1)
 
     def clock(self) -> None:
         if not self.inp.can_pop:

@@ -22,8 +22,10 @@ from repro.lint.graph import lint_simulator, lint_topology
 from repro.lint.astlint import lint_file, lint_paths, lint_source
 from repro.lint.report import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     has_errors,
     render_json,
+    render_sarif,
     render_text,
     sort_findings,
 )
@@ -43,9 +45,11 @@ __all__ = [
     "lint_paths",
     "render_text",
     "render_json",
+    "render_sarif",
     "sort_findings",
     "has_errors",
     "suppressed_lines",
     "shipped_topologies",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
 ]

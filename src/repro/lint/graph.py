@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Sequence, Set
 from repro.lint.rules import Finding
 from repro.rtl.module import Channel, Module
 
-__all__ = ["lint_topology", "lint_simulator"]
+__all__ = ["lint_topology", "lint_simulator", "dataflow_components"]
 
 
 def _collect_channels(
@@ -82,6 +82,30 @@ def _sccs(adjacency: Dict[int, Set[int]], count: int) -> List[List[int]]:
                         break
                 result.append(component)
     return result
+
+
+def dataflow_components(
+    modules: Sequence[Module], channels: Iterable[Channel] = ()
+) -> List[List[Module]]:
+    """Strongly connected components of the module dataflow graph.
+
+    Shared with :mod:`repro.sta`, whose deadlock-credit analysis runs
+    per cyclic component.  Components are returned as module lists;
+    membership order follows the (source-to-sink) module sequence.
+    """
+    module_list = list(modules)
+    module_set = set(map(id, module_list))
+    order = {id(module): i for i, module in enumerate(module_list)}
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(module_list))}
+    for channel in _collect_channels(module_list, channels):
+        for producer in channel.producers:
+            for consumer in channel.consumers:
+                if id(producer) in module_set and id(consumer) in module_set:
+                    adjacency[order[id(producer)]].add(order[id(consumer)])
+    return [
+        [module_list[i] for i in sorted(component)]
+        for component in _sccs(adjacency, len(module_list))
+    ]
 
 
 def lint_topology(
@@ -212,6 +236,22 @@ def lint_topology(
                      f"module {module.name!r} needs {need} words of room "
                      f"in channel {channel.name!r} ({why}) but its "
                      f"capacity is {channel.capacity}", channel.name)
+
+    # ---- P5D009: burst-capable endpoints must state their contracts.
+    for module in module_list:
+        deep = [
+            channel.name
+            for channel in _collect_channels([module], ())
+            if channel.capacity > 1
+        ]
+        if not deep:
+            continue
+        if list(module.capacity_needs()) or module.timing_contract() is not None:
+            continue
+        emit("P5D009",
+             f"module {module.name!r} touches multi-word channel(s) "
+             f"{sorted(set(deep))} but declares neither capacity_needs() "
+             f"nor a timing_contract()", module.name)
 
     return findings
 

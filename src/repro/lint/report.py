@@ -1,9 +1,12 @@
-"""Text and JSON reporters for lint findings.
+"""Text, JSON and SARIF reporters for lint/sta findings.
 
-Both renderings are *stable*: findings are sorted by (file, line,
+All renderings are *stable*: findings are sorted by (file, line,
 code, message) so repeated runs over the same tree produce identical
 output, and the JSON schema carries an explicit version so CI
-consumers can parse it defensively.
+consumers can parse it defensively.  The SARIF 2.1.0 rendering is the
+interchange format CI systems (GitHub code scanning among them) turn
+into inline PR annotations; graph findings with no source location
+carry their module/channel subject as a logical location instead.
 """
 
 from __future__ import annotations
@@ -17,11 +20,18 @@ __all__ = [
     "sort_findings",
     "render_text",
     "render_json",
+    "render_sarif",
     "has_errors",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
 ]
 
 JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
@@ -74,6 +84,67 @@ def render_json(findings: Sequence[Finding]) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rule(code: str) -> Dict:
+    rule = RULES[code]
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": rule.severity.value},
+    }
+
+
+def _sarif_result(finding: Finding) -> Dict:
+    result: Dict = {
+        "ruleId": finding.code,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+    }
+    if finding.file:
+        region = {"startLine": finding.line} if finding.line else {}
+        location: Dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.file},
+                **({"region": region} if region else {}),
+            }
+        }
+        result["locations"] = [location]
+    elif finding.subject:
+        # Graph/timing findings have no source file: the subject is a
+        # module or channel in the constructed topology.
+        result["locations"] = [
+            {"logicalLocations": [{"name": finding.subject, "kind": "member"}]}
+        ]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding], *, tool_name: str = "repro-lint") -> str:
+    """SARIF 2.1.0 log: the CI interchange format for code scanners.
+
+    Only the rules actually referenced by the findings appear in the
+    tool's rule catalogue, keeping the log small and the diff stable.
+    """
+    ordered = sort_findings(findings)
+    referenced = sorted({finding.code for finding in ordered})
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": [_sarif_rule(code) for code in referenced],
+                    }
+                },
+                "results": [_sarif_result(finding) for finding in ordered],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def has_errors(findings: Sequence[Finding]) -> bool:

@@ -117,6 +117,70 @@ _register(Rule(
     "the pipeline wedges.",
 ))
 
+_register(Rule(
+    "P5D009", "undeclared-burst-contract", Severity.WARNING,
+    "A module touches multi-word channels but declares no capacity or "
+    "timing contract.",
+    "Multi-word channels exist to absorb bursts, yet without a "
+    "capacity_needs() or timing_contract() declaration the DRC and the "
+    "static timing analyzer cannot prove the depth is sufficient — the "
+    "sizing rests on an undocumented assumption.",
+))
+
+# ------------------------------------------------------- static timing (sta)
+_register(Rule(
+    "P5T001", "latency-budget-exceeded", Severity.ERROR,
+    "A pipeline path's declared first-word latency exceeds its budget.",
+    "The paper's headline numbers (4-cycle sorter fill, ~50 ns at "
+    "78.125 MHz) are static properties of the stage structure; a path "
+    "whose summed contract latencies break the budget means the "
+    "architecture no longer meets its advertised timing.",
+))
+_register(Rule(
+    "P5T002", "undersized-buffer", Severity.ERROR,
+    "A channel or internal buffer is shallower than the statically "
+    "derived worst-case demand.",
+    "Worst-case expansion (stuffing doubles a word) and burst flushes "
+    "determine the minimum safe depth of every FIFO; a shallower "
+    "buffer either drops words or wedges the pipeline under exactly "
+    "the adversarial payload the transparency mechanism must survive.",
+))
+_register(Rule(
+    "P5T003", "insufficient-cycle-credit", Severity.ERROR,
+    "A feedback cycle's registered-channel credit cannot cover its "
+    "in-flight demand.",
+    "A ring of stages only avoids deadlock if the registered channels "
+    "on the cycle can hold every word the member stages may have in "
+    "flight at once; with less credit the ring can reach a state where "
+    "every stage waits on a full channel — a classic store-and-forward "
+    "deadlock.",
+))
+_register(Rule(
+    "P5T004", "inconsistent-contract", Severity.ERROR,
+    "A module's timing contract contradicts itself or its wiring.",
+    "A contract declaring outputs it does not write, non-positive "
+    "latency or initiation interval, or expansion bounds with min "
+    "above max is wrong by construction — analyses built on it would "
+    "prove nothing.",
+))
+_register(Rule(
+    "P5T005", "unconstrained-path", Severity.WARNING,
+    "A pipeline path crosses a module with no timing contract.",
+    "Latency bounds are sums over per-stage declarations; one "
+    "undeclared stage makes every path through it unbounded, silently "
+    "excluding it from the very analysis that validates the paper's "
+    "timing claims.",
+))
+_register(Rule(
+    "P5T006", "contract-conformance", Severity.ERROR,
+    "An observed run violated a module's declared timing contract.",
+    "Contracts are only trustworthy if simulation cross-checks them: "
+    "a module whose measured first-word latency, expansion ratio or "
+    "buffer occupancy exceeds its declaration has a wrong declaration "
+    "or a wrong implementation — either way the static results are "
+    "invalid.",
+))
+
 # ---------------------------------------------------------------- AST lint
 _register(Rule(
     "P5L001", "unguarded-push", Severity.ERROR,

@@ -9,7 +9,7 @@ its *observed* maximum occupancy stays small under worst-case traffic.
 from __future__ import annotations
 
 
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 
 __all__ = ["SyncFifo"]
 
@@ -38,6 +38,16 @@ class SyncFifo(Module):
     def max_occupancy(self) -> int:
         """High-water mark of the internal store."""
         return self.store.max_occupancy
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            # One cycle into the store, one out of it.
+            latency_cycles=2,
+            outputs=(
+                ChannelTiming(self.out),
+                ChannelTiming(self.store),
+            ),
+        )
 
     def clock(self) -> None:
         # Output side first so a full store can still stream through.

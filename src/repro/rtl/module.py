@@ -1,13 +1,31 @@
-"""Modules and channels — the structural vocabulary of the kernel."""
+"""Modules, channels and timing contracts — the structural vocabulary
+of the kernel.
+
+Besides the simulated structure (:class:`Channel`, :class:`Module`),
+this module defines the *declarative* vocabulary the static analyses
+consume: :class:`TimingContract` (with :class:`ChannelTiming` and
+:class:`BufferBound`) is how a module states its worst-case latency,
+initiation interval, per-output expansion/contraction and internal
+buffer demands — the inputs of the :mod:`repro.sta` timing, sizing
+and deadlock analyses, exactly as ``capacity_needs()`` feeds the
+:mod:`repro.lint` graph DRC.
+"""
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
 from repro.errors import BackpressureOverflow
 
-__all__ = ["Channel", "Module"]
+__all__ = [
+    "Channel",
+    "Module",
+    "ChannelTiming",
+    "BufferBound",
+    "TimingContract",
+]
 
 
 class Channel:
@@ -86,6 +104,74 @@ class Channel:
         return f"Channel({self.name!r}, {len(self._queue)}/{self.capacity})"
 
 
+@dataclass(frozen=True)
+class ChannelTiming:
+    """Worst-case flow declaration for one output channel.
+
+    ``max_expansion`` / ``min_expansion`` bound the output-octets per
+    input-octet ratio over any drained run (stuffing expands a word by
+    up to 2x, destuffing contracts it); ``per_frame_octets`` is the
+    additive per-frame overhead (FCS trailer, wrapping flags) excluded
+    from the ratio; ``burst_words`` is the most words the module may
+    push into this channel in a single cycle — the flow solver's
+    minimum safe capacity for the channel.
+
+    ``channel=None`` describes an *abstract* output stream: the
+    behavioural framers (HDLC/GFP/SONET) declare flow ratios without
+    being wired into a channel graph.
+    """
+
+    channel: Optional["Channel"] = None
+    max_expansion: float = 1.0
+    min_expansion: float = 1.0
+    per_frame_octets: int = 0
+    burst_words: int = 1
+
+
+@dataclass(frozen=True)
+class BufferBound:
+    """A module-internal buffer and its statically derived demand.
+
+    ``capacity`` is the configured depth; ``min_required`` is the
+    worst-case occupancy the module derives from its own structure
+    (e.g. one maximally expanded job for the resynchronisation
+    buffer).  The static analyzer proves ``capacity >= min_required``;
+    the conformance monitor additionally checks that the *observed*
+    peak (read from the module attribute named by ``peak_attr``)
+    never exceeds the static bound — so a wrong derivation is itself
+    a test failure.
+    """
+
+    name: str
+    capacity: int
+    min_required: int
+    peak_attr: str = ""
+    why: str = ""
+
+
+@dataclass(frozen=True)
+class TimingContract:
+    """A module's static timing declaration.
+
+    ``latency_cycles`` is the worst-case first-word latency: counting
+    both endpoints, a word consumed on cycle ``c`` produces its first
+    output on cycle ``c + latency_cycles - 1`` at the latest, assuming
+    dense full-width input words and no downstream backpressure (the
+    datapath's steady-state discipline).  ``initiation_interval`` is
+    the steady-state cycles-per-word (1 = fully pipelined).  Modules
+    whose first emission depends on traffic *content* rather than
+    structure (a flag hunter waiting for alignment) declare their
+    steady-state latency but set ``latency_is_bound=False`` so the
+    conformance monitor does not treat it as a run-time invariant.
+    """
+
+    latency_cycles: int
+    initiation_interval: int = 1
+    outputs: Tuple[ChannelTiming, ...] = ()
+    buffers: Tuple[BufferBound, ...] = ()
+    latency_is_bound: bool = True
+
+
 class Module:
     """Base class for synchronous modules.
 
@@ -134,6 +220,15 @@ class Module:
         declared capacities support the stage's worst-case burst.
         """
         return ()
+
+    def timing_contract(self) -> Optional[TimingContract]:
+        """Declare this module's static timing contract (subclass hook).
+
+        ``None`` means "no declaration": the :mod:`repro.sta` path
+        engine flags paths through the module as unconstrained rather
+        than guessing a latency.
+        """
+        return None
 
     def clock(self) -> None:
         """One rising clock edge (subclass hook)."""

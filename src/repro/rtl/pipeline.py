@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.rtl.module import Channel, Module
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
 from repro.utils.rng import SeedLike, make_rng
 
 __all__ = [
@@ -203,6 +203,12 @@ class StreamSource(Module):
         else:
             self.note_stall()
 
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(
+            latency_cycles=1,
+            outputs=(ChannelTiming(self.out),),
+        )
+
 
 class StreamSink(Module):
     """Drains a channel into a list, optionally stalling (slow consumer)."""
@@ -232,3 +238,6 @@ class StreamSink(Module):
     def data(self) -> bytes:
         """All valid octets received so far."""
         return bytes_from_beats(self.beats)
+
+    def timing_contract(self) -> TimingContract:
+        return TimingContract(latency_cycles=1)

@@ -49,10 +49,33 @@ class Simulator:
         self.watchdog = watchdog
         self._observers: List[Callable[[int], None]] = []
         self._watched: Optional[List[Channel]] = None
+        self._conformance = None
 
     def add_observer(self, callback: Callable[[int], None]) -> None:
         """Register a per-cycle callback (called after each step)."""
         self._observers.append(callback)
+
+    def enable_conformance(self, *, strict: bool = True):
+        """Install a contract-conformance monitor on this simulator.
+
+        Returns the :class:`~repro.sta.conformance.ContractMonitor`,
+        which cross-checks every module's declared
+        :class:`~repro.rtl.module.TimingContract` against the observed
+        run.  With ``strict=True`` (default) a successful
+        :meth:`run_until`/:meth:`drain` additionally asserts
+        conformance, raising
+        :class:`~repro.errors.ContractViolationError` on violation —
+        a wrong declaration is itself a run failure.
+        """
+        from repro.sta.conformance import ContractMonitor
+
+        monitor = ContractMonitor(self, strict=strict)
+        self._conformance = monitor
+        return monitor
+
+    def _check_conformance(self) -> None:
+        if self._conformance is not None and self._conformance.strict:
+            self._conformance.assert_ok()
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles``."""
@@ -162,6 +185,7 @@ class Simulator:
             if activity != last_activity:
                 last_activity = activity
                 quiet_since = self.cycle
+        self._check_conformance()
         return self.cycle - start
 
     def drain(
@@ -192,4 +216,5 @@ class Simulator:
             if activity != last_activity:
                 last_activity = activity
                 quiet_since = self.cycle
+        self._check_conformance()
         return self.cycle - start

@@ -1,0 +1,199 @@
+"""Path-latency engine: first-word latency bounds from contracts alone.
+
+The timing model matches the kernel's sink-first clocking: a stage
+that consumes a word on cycle ``c`` emits its first derived output on
+cycle ``c + L - 1`` (``L`` = its contract's ``latency_cycles``,
+counting both endpoints), and the downstream stage consumes that word
+on the following cycle.  Under that convention the channel hops are
+absorbed into the stage latencies, so the first-word latency of a path
+is simply the **sum of the member stages' latency contracts** — the
+property the escape pipeline's measured 4-cycle fill validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.rtl.module import Channel, Module
+
+__all__ = [
+    "PathLatency",
+    "cycles_to_ns",
+    "wired_channels",
+    "enumerate_paths",
+    "path_latency",
+    "end_to_end_paths",
+    "latency_between",
+]
+
+
+def cycles_to_ns(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to nanoseconds at the given line clock."""
+    if clock_hz <= 0:
+        raise ValueError("clock_hz must be positive")
+    return cycles * 1e9 / clock_hz
+
+
+def wired_channels(
+    modules: Sequence[Module], channels: Iterable[Channel] = ()
+) -> List[Channel]:
+    """Union of the passed channels and everything the modules wired."""
+    seen: List[Channel] = []
+    ids: Set[int] = set()
+    for channel in list(channels):
+        if id(channel) not in ids:
+            ids.add(id(channel))
+            seen.append(channel)
+    for module in modules:
+        for channel in list(module.writes_to) + list(module.reads_from):
+            if id(channel) not in ids:
+                ids.add(id(channel))
+                seen.append(channel)
+    return seen
+
+
+@dataclass(frozen=True)
+class PathLatency:
+    """One source-to-sink path and its static latency bound.
+
+    ``cycles`` is ``None`` when any member stage lacks a contract (the
+    names of those stages are in ``unconstrained``) — the path has no
+    bound rather than a guessed one.  ``traffic_dependent`` marks
+    paths crossing a stage whose contract sets ``latency_is_bound=
+    False`` (e.g. the flag hunter): the figure is a steady-state
+    estimate, not a worst case.
+    """
+
+    modules: Tuple[str, ...]
+    cycles: Optional[int]
+    unconstrained: Tuple[str, ...] = ()
+    traffic_dependent: bool = False
+
+    def ns(self, clock_hz: float) -> Optional[float]:
+        """Latency in nanoseconds, if the path is fully constrained."""
+        if self.cycles is None:
+            return None
+        return cycles_to_ns(self.cycles, clock_hz)
+
+
+def _adjacency(
+    modules: Sequence[Module], channels: Iterable[Channel]
+) -> Dict[int, List[int]]:
+    module_ids = {id(module): i for i, module in enumerate(modules)}
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(len(modules))}
+    for channel in wired_channels(modules, channels):
+        for producer in channel.producers:
+            for consumer in channel.consumers:
+                p = module_ids.get(id(producer))
+                c = module_ids.get(id(consumer))
+                if p is None or c is None or p == c:
+                    continue
+                if c not in adjacency[p]:
+                    adjacency[p].append(c)
+    return adjacency
+
+
+def enumerate_paths(
+    modules: Sequence[Module],
+    channels: Iterable[Channel] = (),
+    *,
+    sources: Optional[Sequence[Module]] = None,
+    sinks: Optional[Sequence[Module]] = None,
+) -> List[List[Module]]:
+    """All simple dataflow paths from sources to sinks.
+
+    Defaults: sources are modules with no inputs, sinks are modules
+    with no outputs.  Cycles are broken by never revisiting a module
+    within one path (a ring contributes its acyclic traversals).
+    """
+    module_list = list(modules)
+    adjacency = _adjacency(module_list, channels)
+    index_of = {id(module): i for i, module in enumerate(module_list)}
+    if sources is None:
+        src = [i for i, m in enumerate(module_list) if not m.reads_from]
+    else:
+        src = [index_of[id(m)] for m in sources]
+    if sinks is None:
+        dst = {i for i, m in enumerate(module_list) if not m.writes_to}
+    else:
+        dst = {index_of[id(m)] for m in sinks}
+
+    paths: List[List[Module]] = []
+
+    def walk(node: int, trail: List[int]) -> None:
+        trail.append(node)
+        if node in dst:
+            paths.append([module_list[i] for i in trail])
+        else:
+            for successor in adjacency[node]:
+                if successor not in trail:
+                    walk(successor, trail)
+        trail.pop()
+
+    for start in src:
+        if start in dst and not adjacency[start]:
+            paths.append([module_list[start]])
+        else:
+            walk(start, [])
+    return paths
+
+
+def path_latency(path: Sequence[Module]) -> PathLatency:
+    """Sum the latency contracts along one path of modules."""
+    total = 0
+    unconstrained: List[str] = []
+    traffic_dependent = False
+    for module in path:
+        contract = module.timing_contract()
+        if contract is None:
+            unconstrained.append(module.name)
+            continue
+        total += contract.latency_cycles
+        if not contract.latency_is_bound:
+            traffic_dependent = True
+    return PathLatency(
+        modules=tuple(module.name for module in path),
+        cycles=None if unconstrained else total,
+        unconstrained=tuple(unconstrained),
+        traffic_dependent=traffic_dependent,
+    )
+
+
+def end_to_end_paths(
+    modules: Sequence[Module], channels: Iterable[Channel] = ()
+) -> List[PathLatency]:
+    """Latency bounds for every source-to-sink path in the graph."""
+    return [path_latency(p) for p in enumerate_paths(modules, channels)]
+
+
+def latency_between(
+    modules: Sequence[Module],
+    channels: Iterable[Channel] = (),
+    *,
+    source: str,
+    sink: str,
+) -> Optional[PathLatency]:
+    """Worst-case bound between two named modules (None if no path).
+
+    With several parallel paths the maximum fully-constrained total
+    wins; a path containing an unconstrained stage dominates them all
+    (no bound can be claimed).
+    """
+    module_list = list(modules)
+    by_name = {module.name: module for module in module_list}
+    if source not in by_name or sink not in by_name:
+        return None
+    if source == sink:
+        return path_latency([by_name[source]])
+    candidates = enumerate_paths(
+        module_list, channels,
+        sources=[by_name[source]], sinks=[by_name[sink]],
+    )
+    if not candidates:
+        return None
+    results = [path_latency(p) for p in candidates]
+    unconstrained = [r for r in results if r.cycles is None]
+    if unconstrained:
+        return unconstrained[0]
+    return max(results, key=lambda r: r.cycles)

@@ -76,3 +76,41 @@ def test_bit_stuff_no_flag_pattern(bits):
     for bit in stuffed:
         run = run + 1 if bit else 0
         assert run <= 5
+
+
+# ------------------------------------------------- contract conformance
+def _declared_stuffing_expansion():
+    """The max_expansion the escape-generate unit's contract declares."""
+    from repro.core.escape_pipeline import PipelinedEscapeGenerate
+    from repro.rtl.module import Channel
+
+    unit = PipelinedEscapeGenerate(
+        "gen", Channel("in"), Channel("out"), width_bytes=4
+    )
+    (timing,) = unit.timing_contract().outputs
+    return timing.max_expansion
+
+
+@given(data=payloads)
+def test_stuffing_never_exceeds_declared_max_expansion(data):
+    """The x2 bound in the escape-generate timing contract is sound:
+    no payload — including hypothesis-found adversarial ones — makes
+    byte stuffing expand beyond it."""
+    bound = _declared_stuffing_expansion()
+    from repro.hdlc import stuffed_length
+
+    assert len(stuff(data)) <= bound * max(len(data), 1)
+    assert stuffed_length(data) == len(stuff(data))
+
+
+def test_adversarial_payloads_reach_but_never_break_the_bound():
+    """All-flag and all-escape payloads are the exact worst case the
+    contract (and the framer's class-level declaration) must cover."""
+    from repro.hdlc.framer import HdlcFramer as _Framer
+
+    bound = _declared_stuffing_expansion()
+    (framer_timing,) = _Framer.TIMING_CONTRACT.outputs
+    assert framer_timing.max_expansion == bound == 2.0
+    for octet in (FLAG_OCTET, ESC_OCTET):
+        payload = bytes([octet]) * 256
+        assert len(stuff(payload)) == int(bound * len(payload))

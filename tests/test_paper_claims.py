@@ -100,6 +100,58 @@ class TestClaimC4CriticalPath:
         assert v2.fmax_post_mhz > 1.3 * v1.fmax_post_mhz
 
 
+class TestClaimC2Static:
+    """C2 again, but *statically*: the 4-cycle/~50 ns sorter fill and
+    the end-to-end first-word latencies fall out of the declared
+    timing contracts alone — no cycle is clocked."""
+
+    def _bound(self, config, index):
+        from repro.core.p5 import build_duplex
+        from repro.sta import latency_between, paper_budgets
+
+        a, _b, sim = build_duplex(config)
+        budget = paper_budgets(a.tx, a.rx)[index]
+        return budget, latency_between(
+            sim.modules, sim.channels, source=budget.source, sink=budget.sink
+        )
+
+    def test_sorter_fill_is_statically_4_cycles_51ns(self):
+        from repro.sta import cycles_to_ns
+
+        budget, bound = self._bound(P5Config.thirty_two_bit(), 0)
+        assert bound.cycles == budget.max_cycles == 4
+        assert cycles_to_ns(bound.cycles, 78.125e6) == pytest.approx(51.2)
+
+    def test_sorter_fill_8bit_is_2_cycles(self):
+        _budget, bound = self._bound(P5Config.eight_bit(), 0)
+        assert bound.cycles == 2
+
+    def test_tx_end_to_end_bounds(self):
+        for config, cycles in (
+            (P5Config.thirty_two_bit(), 7), (P5Config.eight_bit(), 5)
+        ):
+            budget, bound = self._bound(config, 1)
+            assert bound.cycles == cycles <= budget.max_cycles
+
+    def test_rx_end_to_end_bounds(self):
+        for config, cycles in (
+            (P5Config.thirty_two_bit(), 13), (P5Config.eight_bit(), 11)
+        ):
+            budget, bound = self._bound(config, 2)
+            assert bound.cycles == cycles <= budget.max_cycles
+
+    def test_static_and_measured_fill_agree(self):
+        _budget, bound = self._bound(P5Config.thirty_two_bit(), 0)
+        assert bound.cycles == measure_escape_latency(
+            P5Config.thirty_two_bit()
+        ).fill_cycles
+
+    def test_analyzer_holds_the_duplex_to_every_budget(self):
+        from repro.sta import canonical_findings
+
+        assert canonical_findings() == []
+
+
 class TestEndToEndRateScaling:
     """The whole-system consequence of C1: wall-clock cycles scale
     inversely with width for the same traffic."""

@@ -102,3 +102,61 @@ class TestWatchdog:
         with pytest.raises(SimulationError) as excinfo:
             sim.run_until(lambda: source.done, timeout=200)
         assert not isinstance(excinfo.value, PipelineStallError)
+
+
+class Idle(Module):
+    """A module wired to no channels at all."""
+
+    def clock(self):
+        pass
+
+
+class TestWatchdogEdges:
+    """Boundary behaviour of the watchdog and drain machinery."""
+
+    def test_zero_wired_channels_drain_completes(self):
+        sim = Simulator([Idle("idle")])
+        assert sim.drain(idle_cycles=3) == 3
+        assert sim.stall_diagnostic(0)["channels"] == []
+
+    def test_zero_wired_channels_still_trip_a_silence_watchdog(self):
+        """With nothing to ever move, the budget counts from cycle 0."""
+        sim = Simulator([Idle("idle")])
+        with pytest.raises(PipelineStallError, match="occupied channels: none"):
+            sim.run_until(lambda: False, watchdog=5, timeout=100)
+
+    def test_observer_exception_propagates_after_cycle_advance(self):
+        sim = Simulator([Idle("idle")])
+
+        def explode(cycle):
+            if cycle == 3:
+                raise RuntimeError("observer boom")
+
+        sim.add_observer(explode)
+        sim.step(2)
+        with pytest.raises(RuntimeError, match="observer boom"):
+            sim.step()
+        # The cycle had already been committed before observers ran.
+        assert sim.cycle == 3
+
+    def test_quiet_budget_reports_exactly_the_budget(self):
+        """The stall fires the first cycle the budget is met, not later."""
+        source, _sink, sim = wedged_pipeline()
+        with pytest.raises(PipelineStallError) as excinfo:
+            sim.run_until(lambda: source.done, watchdog=37)
+        assert excinfo.value.diagnostic["quiet_cycles"] == 37
+
+    def _quiet_drain_sim(self):
+        ch = Channel("quiet.ch", capacity=2)
+        source = StreamSource("src", ch, [])      # nothing to send
+        sink = StreamSink("sink", ch)
+        return Simulator([source, sink], [ch])
+
+    def test_drain_budget_at_the_boundary_completes(self):
+        # idle_cycles checks happen at quiet counts 0..idle_cycles-1,
+        # so a budget equal to idle_cycles never fires.
+        assert self._quiet_drain_sim().drain(idle_cycles=4, watchdog=4) == 4
+
+    def test_drain_budget_below_the_boundary_trips(self):
+        with pytest.raises(PipelineStallError):
+            self._quiet_drain_sim().drain(idle_cycles=4, watchdog=3)

@@ -1,0 +1,84 @@
+"""The ``repro sta`` subcommand and the shared SARIF reporter."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.lint import RULES, SARIF_VERSION, Finding, render_sarif
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+
+
+class TestStaCommand:
+    def test_canonical_topologies_exit_zero(self, capsys):
+        assert main(["sta"]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        assert main(["sta", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"error": 0, "warning": 0}
+        assert payload["findings"] == []
+
+    def test_sarif_report(self, capsys):
+        assert main(["sta", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == SARIF_VERSION
+        assert log["runs"][0]["results"] == []
+
+    def test_custom_clock_only_rescales_reporting(self, capsys):
+        # Budgets are in cycles; a slower clock changes ns figures only.
+        assert main(["sta", "--clock-mhz", "19.44"]) == 0
+
+    def test_nonpositive_clock_is_a_usage_error(self, capsys):
+        assert main(["sta", "--clock-mhz", "0"]) == 2
+
+
+class TestSarifReporter:
+    def _log(self, findings):
+        return json.loads(render_sarif(findings))
+
+    def test_lint_cli_emits_valid_sarif(self, capsys):
+        assert main(["lint", "--no-graph", "--format", "sarif",
+                     "--path", str(FIXTURES / "bad_bare_flag.py")]) == 1
+        log = json.loads(capsys.readouterr().out)
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == {"P5L003"}
+        for result in log["runs"][0]["results"]:
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(
+                "bad_bare_flag.py"
+            )
+            assert location["region"]["startLine"] >= 1
+
+    def test_rules_catalogue_limited_to_referenced_codes(self):
+        findings = [Finding.of("P5T002", "too small", subject="ch")]
+        (rule,) = self._log(findings)["runs"][0]["tool"]["driver"]["rules"]
+        assert rule["id"] == "P5T002"
+        assert rule["name"] == RULES["P5T002"].name
+        assert rule["defaultConfiguration"]["level"] == "error"
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+
+    def test_graph_findings_carry_logical_locations(self):
+        findings = [Finding.of("P5T003", "ring wedge", subject="fifo")]
+        (result,) = self._log(findings)["runs"][0]["results"]
+        (logical,) = result["locations"][0]["logicalLocations"]
+        assert logical["name"] == "fifo"
+        assert result["ruleId"] == "P5T003"
+        assert result["level"] == "error"
+
+    def test_warning_level_preserved(self):
+        findings = [Finding.of("P5T005", "no contract", subject="m")]
+        (result,) = self._log(findings)["runs"][0]["results"]
+        assert result["level"] == "warning"
+
+    def test_output_is_stable_across_runs(self):
+        findings = [
+            Finding.of("P5T005", "b", subject="z"),
+            Finding.of("P5T002", "a", subject="y"),
+        ]
+        assert render_sarif(findings) == render_sarif(list(reversed(findings)))
+        ordered = self._log(findings)["runs"][0]["results"]
+        assert [r["ruleId"] for r in ordered] == ["P5T002", "P5T005"]

@@ -1,0 +1,158 @@
+"""Conformance mode: declared contracts cross-checked against live runs."""
+
+import pytest
+
+from repro.core.escape_pipeline import PipelinedEscapeGenerate
+from repro.errors import ContractViolationError
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
+from repro.rtl.pipeline import StreamSink, StreamSource, beats_from_bytes
+from repro.rtl.simulator import Simulator
+
+
+class Mover(Module):
+    """Honest one-cycle stage: declaration matches behaviour."""
+
+    def __init__(self, name, inp, out):
+        super().__init__(name)
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
+
+    def clock(self):
+        if self.inp.can_pop and self.out.can_push:
+            self.out.push(self.inp.pop())
+
+    def timing_contract(self):
+        return TimingContract(
+            latency_cycles=1, outputs=(ChannelTiming(self.out),)
+        )
+
+
+class SlowMover(Mover):
+    """Takes two cycles per word but lies that it takes one."""
+
+    def __init__(self, name, inp, out):
+        super().__init__(name, inp, out)
+        self._held = None
+
+    def clock(self):
+        if self._held is not None and self.out.can_push:
+            self.out.push(self._held)
+            self._held = None
+        elif self._held is None and self.inp.can_pop:
+            self._held = self.inp.pop()
+
+
+class Duplicator(Mover):
+    """Pushes every beat twice while declaring x1 expansion, burst 1."""
+
+    def clock(self):
+        if self.inp.can_pop and self.out.capacity - self.out.occupancy >= 2:
+            beat = self.inp.pop()
+            self.out.push(beat)
+            self.out.push(beat)
+
+
+def pipeline(stage_cls, payload=bytes(range(32)), capacity=4):
+    c_in = Channel("in", capacity=capacity)
+    c_out = Channel("out", capacity=capacity)
+    source = StreamSource("src", c_in, beats_from_bytes(payload, 4))
+    stage = stage_cls("stage", c_in, c_out)
+    sink = StreamSink("sink", c_out)
+    sim = Simulator([source, stage, sink], [c_in, c_out])
+    return source, stage, sim
+
+
+class TestCleanRuns:
+    def test_honest_pipeline_passes_strict_conformance(self):
+        source, _stage, sim = pipeline(Mover)
+        monitor = sim.enable_conformance()
+        sim.run_until(lambda: source.done, timeout=1_000)
+        sim.drain(timeout=1_000)
+        assert monitor.findings() == []
+
+    def test_real_escape_unit_honours_its_contract(self):
+        # Adversarial payload: every octet needs stuffing (x2 expansion).
+        payload = bytes([0x7E] * 32)
+        c_in = Channel("in", capacity=2)
+        c_out = Channel("out", capacity=4)
+        source = StreamSource("src", c_in, beats_from_bytes(payload, 4))
+        gen = PipelinedEscapeGenerate("gen", c_in, c_out, width_bytes=4)
+        sink = StreamSink("sink", c_out)
+        sim = Simulator([source, gen, sink], [c_in, c_out])
+        sim.enable_conformance()
+        sim.run_until(lambda: source.done and gen.idle, timeout=2_000)
+        sim.drain(timeout=2_000)      # strict: would raise on violation
+
+
+class TestViolations:
+    def test_lying_latency_fails_the_run(self):
+        source, _stage, sim = pipeline(SlowMover)
+        sim.enable_conformance()
+        with pytest.raises(ContractViolationError, match="latency"):
+            sim.run_until(lambda: source.done, timeout=1_000)
+            sim.drain(timeout=1_000)
+
+    def test_lying_escape_contract_fails_the_run(self):
+        class LyingEscape(PipelinedEscapeGenerate):
+            def timing_contract(self):
+                base = super().timing_contract()
+                return TimingContract(
+                    latency_cycles=1,         # real fill is pipeline_stages
+                    outputs=base.outputs,
+                    buffers=base.buffers,
+                )
+
+        c_in = Channel("in", capacity=2)
+        c_out = Channel("out", capacity=4)
+        source = StreamSource(
+            "src", c_in, beats_from_bytes(bytes(range(64)), 4)
+        )
+        gen = LyingEscape("gen", c_in, c_out, width_bytes=4)
+        sink = StreamSink("sink", c_out)
+        sim = Simulator([source, gen, sink], [c_in, c_out])
+        sim.enable_conformance()
+        with pytest.raises(ContractViolationError) as excinfo:
+            sim.run_until(lambda: source.done and gen.idle, timeout=2_000)
+        assert all(f.code == "P5T006" for f in excinfo.value.findings)
+
+    def test_expansion_and_burst_violations_found(self):
+        source, _stage, sim = pipeline(Duplicator)
+        monitor = sim.enable_conformance(strict=False)
+        sim.run_until(lambda: source.done, timeout=1_000)
+        sim.drain(timeout=1_000)
+        messages = [f.message for f in monitor.findings()]
+        assert any("expansion" in m for m in messages)
+        assert any("burst" in m for m in messages)
+
+    def test_non_strict_monitor_collects_without_raising(self):
+        source, _stage, sim = pipeline(SlowMover)
+        monitor = sim.enable_conformance(strict=False)
+        sim.run_until(lambda: source.done, timeout=1_000)
+        sim.drain(timeout=1_000)
+        assert monitor.findings()
+        with pytest.raises(ContractViolationError):
+            monitor.assert_ok()
+
+
+class TestLatencyAccountingIsOneSided:
+    def test_sparse_input_never_fakes_a_violation(self):
+        """A starved honest stage must not be blamed for idle cycles."""
+
+        class TricklingSource(StreamSource):
+            def clock(self):
+                if self._sim_cycle_gate():
+                    super().clock()
+
+            def _sim_cycle_gate(self):
+                self._count = getattr(self, "_count", 0) + 1
+                return self._count % 3 == 0      # push every third cycle
+
+        c_in, c_out = Channel("in", capacity=4), Channel("out", capacity=4)
+        source = TricklingSource("src", c_in, beats_from_bytes(bytes(24), 4))
+        stage = Mover("stage", c_in, c_out)
+        sink = StreamSink("sink", c_out)
+        sim = Simulator([source, stage, sink], [c_in, c_out])
+        monitor = sim.enable_conformance()
+        sim.run_until(lambda: source.done, timeout=1_000)
+        sim.drain(timeout=1_000)
+        assert monitor.findings() == []

@@ -1,0 +1,211 @@
+"""Contract self-consistency (P5T004/P5T005) and the P5D009 DRC rule."""
+
+import pytest
+
+from repro.lint import Severity, lint_topology
+from repro.rtl.module import (
+    BufferBound,
+    Channel,
+    ChannelTiming,
+    Module,
+    TimingContract,
+)
+from repro.rtl.pipeline import StreamSink, StreamSource
+from repro.sta import analyze_topology
+
+
+class Declaring(Module):
+    """Fixture stage returning whatever contract the test injects."""
+
+    def __init__(self, name, inp, out, contract="default"):
+        super().__init__(name)
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
+        self._contract = contract
+
+    def clock(self):
+        if self.inp.can_pop and self.out.can_push:
+            self.out.push(self.inp.pop())
+
+    def timing_contract(self):
+        if self._contract == "default":
+            return TimingContract(
+                latency_cycles=1, outputs=(ChannelTiming(self.out),)
+            )
+        return self._contract
+
+
+def wired(contract):
+    c_in, c_out = Channel("in"), Channel("out")
+    stage = Declaring("stage", c_in, c_out, contract=contract)
+    modules = [StreamSource("src", c_in, []), stage, StreamSink("sink", c_out)]
+    return modules, [c_in, c_out], stage
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestContractConsistency:
+    def test_wellformed_contract_is_quiet(self):
+        modules, channels, _ = wired("default")
+        assert "P5T004" not in codes(analyze_topology(modules, channels))
+
+    def test_nonpositive_latency_is_p5t004(self):
+        modules, channels, _ = wired(TimingContract(latency_cycles=0))
+        assert "P5T004" in codes(analyze_topology(modules, channels))
+
+    def test_nonpositive_initiation_interval_is_p5t004(self):
+        modules, channels, _ = wired(
+            TimingContract(latency_cycles=1, initiation_interval=0)
+        )
+        assert "P5T004" in codes(analyze_topology(modules, channels))
+
+    def test_timing_for_unwritten_channel_is_p5t004(self):
+        foreign = Channel("foreign")
+        modules, channels, _ = wired(
+            TimingContract(latency_cycles=1, outputs=(ChannelTiming(foreign),))
+        )
+        findings = analyze_topology(modules, channels)
+        assert any(
+            f.code == "P5T004" and "foreign" in f.message for f in findings
+        )
+
+    def test_min_expansion_above_max_is_p5t004(self):
+        modules, channels, stage = wired(None)
+        stage._contract = TimingContract(
+            latency_cycles=1,
+            outputs=(
+                ChannelTiming(stage.out, max_expansion=1.0, min_expansion=2.0),
+            ),
+        )
+        assert "P5T004" in codes(analyze_topology(modules, channels))
+
+    def test_sub_word_burst_is_p5t004(self):
+        modules, channels, stage = wired(None)
+        stage._contract = TimingContract(
+            latency_cycles=1,
+            outputs=(ChannelTiming(stage.out, burst_words=0),),
+        )
+        assert "P5T004" in codes(analyze_topology(modules, channels))
+
+    def test_negative_buffer_sizing_is_p5t004(self):
+        modules, channels, _ = wired(
+            TimingContract(
+                latency_cycles=1,
+                buffers=(BufferBound("b", capacity=-1, min_required=0),),
+            )
+        )
+        assert "P5T004" in codes(analyze_topology(modules, channels))
+
+    def test_buffer_below_requirement_is_p5t002(self):
+        modules, channels, _ = wired(
+            TimingContract(
+                latency_cycles=1,
+                buffers=(BufferBound("b", capacity=1, min_required=3),),
+            )
+        )
+        assert "P5T002" in codes(analyze_topology(modules, channels))
+
+    def test_rejects_nonpositive_clock(self):
+        modules, channels, _ = wired("default")
+        with pytest.raises(ValueError):
+            analyze_topology(modules, channels, clock_hz=0)
+
+
+class TestUnconstrained:
+    def test_undeclared_datapath_module_is_p5t005(self):
+        class Quiet(Module):
+            def __init__(self, name, inp, out):
+                super().__init__(name)
+                self.inp = self.reads(inp)
+                self.out = self.writes(out)
+
+            def clock(self):
+                if self.inp.can_pop and self.out.can_push:
+                    self.out.push(self.inp.pop())
+
+        c_in, c_out = Channel("in"), Channel("out")
+        quiet = Quiet("quiet", c_in, c_out)
+        modules = [
+            StreamSource("src", c_in, []), quiet, StreamSink("sink", c_out)
+        ]
+        findings = analyze_topology(modules, [c_in, c_out])
+        flagged = [f for f in findings if f.code == "P5T005"]
+        assert {f.subject for f in flagged} == {"quiet"}
+        assert all(f.severity is Severity.WARNING for f in flagged)
+
+    def test_unwired_module_is_not_flagged(self):
+        class Lone(Module):
+            def clock(self):
+                pass
+
+        assert analyze_topology([Lone("lone")]) == []
+
+
+class TestP5D009:
+    def _topology(self, stage_cls):
+        c_in = Channel("in", capacity=4)
+        c_out = Channel("out", capacity=4)
+        stage = stage_cls("stage", c_in, c_out)
+        modules = [
+            StreamSource("src", c_in, []), stage, StreamSink("sink", c_out)
+        ]
+        return modules, [c_in, c_out]
+
+    def test_undeclared_module_on_deep_channels_warned(self):
+        class Bare(Module):
+            def __init__(self, name, inp, out):
+                super().__init__(name)
+                self.inp = self.reads(inp)
+                self.out = self.writes(out)
+
+            def clock(self):
+                if self.inp.can_pop and self.out.can_push:
+                    self.out.push(self.inp.pop())
+
+        modules, channels = self._topology(Bare)
+        findings = [
+            f for f in lint_topology(modules, channels) if f.code == "P5D009"
+        ]
+        assert {f.subject for f in findings} == {"stage"}
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_timing_contract_silences_the_warning(self):
+        modules, channels = self._topology(Declaring)
+        assert "P5D009" not in codes(lint_topology(modules, channels))
+
+    def test_capacity_needs_silences_the_warning(self):
+        class Sized(Module):
+            def __init__(self, name, inp, out):
+                super().__init__(name)
+                self.inp = self.reads(inp)
+                self.out = self.writes(out)
+
+            def clock(self):
+                if self.inp.can_pop and self.out.can_push:
+                    self.out.push(self.inp.pop())
+
+            def capacity_needs(self):
+                return [(self.out, 2, "burst flush")]
+
+        modules, channels = self._topology(Sized)
+        assert "P5D009" not in codes(lint_topology(modules, channels))
+
+    def test_single_word_channels_need_no_declaration(self):
+        class Bare(Module):
+            def __init__(self, name, inp, out):
+                super().__init__(name)
+                self.inp = self.reads(inp)
+                self.out = self.writes(out)
+
+            def clock(self):
+                if self.inp.can_pop and self.out.can_push:
+                    self.out.push(self.inp.pop())
+
+        c_in, c_out = Channel("in"), Channel("out")
+        stage = Bare("stage", c_in, c_out)
+        modules = [
+            StreamSource("src", c_in, []), stage, StreamSink("sink", c_out)
+        ]
+        assert "P5D009" not in codes(lint_topology(modules, [c_in, c_out]))

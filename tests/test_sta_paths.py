@@ -1,0 +1,156 @@
+"""The sta path engine: latency bounds from contracts, no simulation."""
+
+import pytest
+
+from repro.rtl.module import Channel, ChannelTiming, Module, TimingContract
+from repro.rtl.pipeline import StreamSink, StreamSource
+from repro.sta import cycles_to_ns, end_to_end_paths, latency_between
+from repro.sta.paths import enumerate_paths, path_latency
+
+
+class Stage(Module):
+    """Fixture stage with a configurable declared latency."""
+
+    def __init__(self, name, inp, out, latency=1, declared=True, bound=True):
+        super().__init__(name)
+        self.inp = self.reads(inp)
+        self.out = self.writes(out)
+        self._latency = latency
+        self._declared = declared
+        self._bound = bound
+
+    def clock(self):
+        if self.inp.can_pop and self.out.can_push:
+            self.out.push(self.inp.pop())
+
+    def timing_contract(self):
+        if not self._declared:
+            return None
+        return TimingContract(
+            latency_cycles=self._latency,
+            outputs=(ChannelTiming(self.out),),
+            latency_is_bound=self._bound,
+        )
+
+
+def chain(latencies, **stage_kwargs):
+    """src -> Stage(L) per entry -> sink; returns (modules, channels)."""
+    channels = [Channel(f"c{i}") for i in range(len(latencies) + 1)]
+    modules = [StreamSource("src", channels[0], [])]
+    for i, latency in enumerate(latencies):
+        modules.append(
+            Stage(f"s{i}", channels[i], channels[i + 1],
+                  latency=latency, **stage_kwargs)
+        )
+    modules.append(StreamSink("sink", channels[-1]))
+    return modules, channels
+
+
+class TestCyclesToNs:
+    def test_paper_clock(self):
+        # 78.125 MHz -> 12.8 ns per cycle; the 4-stage sorter fill.
+        assert cycles_to_ns(4, 78.125e6) == pytest.approx(51.2)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            cycles_to_ns(1, 0)
+
+
+class TestPathLatency:
+    def test_chain_is_sum_of_stage_latencies(self):
+        modules, channels = chain([2, 3])
+        bound = latency_between(modules, channels, source="src", sink="sink")
+        # src(1) + 2 + 3 + sink(1)
+        assert bound.cycles == 7
+        assert bound.modules == ("src", "s0", "s1", "sink")
+        assert bound.ns(78.125e6) == pytest.approx(7 * 12.8)
+
+    def test_single_module_budget(self):
+        modules, channels = chain([4])
+        bound = latency_between(modules, channels, source="s0", sink="s0")
+        assert bound.cycles == 4
+        assert bound.modules == ("s0",)
+
+    def test_undeclared_stage_unbounds_the_path(self):
+        modules, channels = chain([2], declared=False)
+        bound = latency_between(modules, channels, source="src", sink="sink")
+        assert bound.cycles is None
+        assert bound.unconstrained == ("s0",)
+        assert bound.ns(78.125e6) is None
+
+    def test_traffic_dependent_stage_marks_the_path(self):
+        modules, channels = chain([2], bound=False)
+        bound = latency_between(modules, channels, source="src", sink="sink")
+        assert bound.cycles == 4
+        assert bound.traffic_dependent
+
+    def test_no_path_between_unrelated_modules(self):
+        modules, channels = chain([1])
+        assert latency_between(
+            modules, channels, source="sink", sink="src"
+        ) is None
+        assert latency_between(
+            modules, channels, source="nope", sink="sink"
+        ) is None
+
+
+class TestParallelPaths:
+    def _diamond(self, slow_declared=True):
+        c0, c_fast, c_slow, c_out = (Channel(n) for n in "abcd")
+        src = StreamSource("src", c0, [])
+        fast = Stage("fast", c0, c_fast, latency=1)
+        slow = Stage("slow", c0, c_slow, latency=5, declared=slow_declared)
+        join_fast = Stage("jf", c_fast, c_out, latency=1)
+        join_slow = Stage("js", c_slow, c_out, latency=1)
+        sink = StreamSink("sink", c_out)
+        modules = [src, fast, slow, join_fast, join_slow, sink]
+        return modules, [c0, c_fast, c_slow, c_out]
+
+    def test_worst_parallel_path_wins(self):
+        modules, channels = self._diamond()
+        bound = latency_between(modules, channels, source="src", sink="sink")
+        assert bound.cycles == 1 + 5 + 1 + 1       # the slow arm
+        assert "slow" in bound.modules
+
+    def test_unconstrained_parallel_path_dominates(self):
+        modules, channels = self._diamond(slow_declared=False)
+        bound = latency_between(modules, channels, source="src", sink="sink")
+        assert bound.cycles is None
+        assert bound.unconstrained == ("slow",)
+
+
+class TestEnumeration:
+    def test_ring_contributes_acyclic_traversals_only(self):
+        c_in, c_ab, c_ba, c_out = (Channel(n) for n in ("in", "ab", "ba", "out"))
+        src = StreamSource("src", c_in, [])
+        a = Stage("a", c_in, c_ab)
+        b = Stage("b", c_ab, c_ba)
+        a.reads(c_ba)          # close the ring observationally
+        a2_out = a.writes(c_out)
+        assert a2_out is c_out
+        sink = StreamSink("sink", c_out)
+        paths = enumerate_paths([src, a, b, sink], [c_in, c_ab, c_ba, c_out])
+        names = [[m.name for m in p] for p in paths]
+        assert ["src", "a", "sink"] in names
+        assert all(trail.count("a") == 1 for trail in names)
+
+    def test_isolated_source_sink_module_is_a_path(self):
+        class Lone(Module):
+            def clock(self):
+                pass
+
+        lone = Lone("lone")
+        paths = enumerate_paths([lone])
+        assert [[m.name for m in p] for p in paths] == [["lone"]]
+
+    def test_end_to_end_paths_cover_every_route(self):
+        modules, channels = chain([1, 1])
+        results = end_to_end_paths(modules, channels)
+        assert len(results) == 1
+        assert results[0].cycles == 4
+
+    def test_path_latency_of_explicit_module_list(self):
+        modules, _channels = chain([2, 3])
+        result = path_latency(modules[1:3])
+        assert result.cycles == 5
+        assert result.unconstrained == ()
