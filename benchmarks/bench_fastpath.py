@@ -1,0 +1,37 @@
+"""P1 — Fastpath trajectory: the two-engine speedup on standard traffic.
+
+Times the vectorised frame-level engine against the cycle-accurate
+P5 loopback on the imix workload (the exact computation behind
+``repro bench`` / ``BENCH_fastpath.json``) and asserts the recorded
+floor: the fastpath must stay at least 20x faster frame-for-frame
+while remaining differentially equivalent.
+"""
+
+from conftest import emit
+
+from repro.fastpath.bench import DEFAULT_SPEEDUP_FLOOR, run_bench
+
+
+def test_fastpath_speedup_trajectory(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_bench(frames=30, workloads=("imix",)),
+        rounds=1,
+        iterations=1,
+    )
+    imix = report["workloads"]["imix"]
+    lines = [
+        f"{'engine':>10} {'frames/s':>12} {'MB/s':>10}",
+        f"{'cycle':>10} {imix['cycle']['frames_per_s']:>12.1f} "
+        f"{imix['cycle']['mb_per_s']:>10.2f}",
+        f"{'fastpath':>10} {imix['fastpath']['frames_per_s']:>12.1f} "
+        f"{imix['fastpath']['mb_per_s']:>10.2f}",
+        "",
+        f"speedup {imix['speedup_frames_per_s']:.1f}x "
+        f"(floor {DEFAULT_SPEEDUP_FLOOR:.0f}x), differential "
+        f"{'ok' if imix['differential_ok'] else 'FAIL'}",
+    ]
+    emit("Perf P1 — fastpath vs cycle engine", "\n".join(lines))
+
+    assert imix["differential_ok"], imix["differential_mismatches"]
+    assert imix["speedup_frames_per_s"] >= DEFAULT_SPEEDUP_FLOOR
+    assert report["ok"]

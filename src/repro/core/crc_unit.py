@@ -62,6 +62,11 @@ class CrcGenerate(Module):
         self.frames_processed = 0
 
     @property
+    def quiescent(self) -> bool:
+        # Input-driven: the carry only moves when a beat arrives.
+        return not self.inp.can_pop
+
+    @property
     def fcs_octets(self) -> int:
         return self.spec.width // 8
 
@@ -178,6 +183,11 @@ class CrcCheck(Module):
         #: Typed records of every rejected frame (runt/FCS), in
         #: arrival order — mirrors ``WordDelineator.faults``.
         self.faults: List[FramingError] = []
+
+    @property
+    def quiescent(self) -> bool:
+        # Input-driven: the holdback only moves when a beat arrives.
+        return not self.inp.can_pop
 
     @property
     def fcs_octets(self) -> int:

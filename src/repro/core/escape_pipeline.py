@@ -250,6 +250,12 @@ class _EscapePipelineBase(Module):
             and all(r is None for r in self._regs)
         )
 
+    @property
+    def quiescent(self) -> bool:
+        # All four stages are empty and no word is waiting at the
+        # intake: every stage function falls straight through.
+        return not self.inp.can_pop and self.idle
+
 
 class PipelinedEscapeGenerate(_EscapePipelineBase):
     """The transmit-side unit: insert escapes, word-parallel.

@@ -38,6 +38,13 @@ class PhyWire(Module):
         self.corrupt = corrupt
         self.words_moved = 0
 
+    @property
+    def quiescent(self) -> bool:
+        # Nothing on the wire this cycle; a full far end is *not*
+        # quiescent only because clock() would do nothing either way,
+        # but an empty input is the only state-free guarantee.
+        return not self.inp.can_pop
+
     def clock(self) -> None:
         if self.inp.can_pop and self.out.can_push:
             beat = self.inp.pop()

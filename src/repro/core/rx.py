@@ -94,6 +94,12 @@ class WordDelineator(Module):
         #: arrival order — the errors.py hierarchy as data, not raises.
         self.faults: List[FramingError] = []
 
+    @property
+    def quiescent(self) -> bool:
+        # Input-driven: an empty PHY channel means clock() returns at
+        # its first guard, whatever frame is half-delineated.
+        return not self.inp.can_pop
+
     def capacity_needs(self):
         # One PHY word of tiny frames can burst W+2 beats (the room
         # check in clock()); anything shallower deadlocks the hunt.
@@ -246,6 +252,15 @@ class RxFrameSink(Module):
         self._current = bytearray()
         self.frames: List[Tuple[bytes, bool]] = []
         self._verdict_cursor = 0
+
+    @property
+    def quiescent(self) -> bool:
+        # A stall pattern may draw RNG (or count stalled cycles), so
+        # only an unstalled sink with an empty input is skippable.
+        return (
+            (self.stall is None or self.stall.is_never)
+            and not self.inp.can_pop
+        )
 
     def clock(self) -> None:
         if self.stall is not None and self.stall.active(self.cycles):

@@ -51,6 +51,12 @@ class TxFrameSource(Module):
         """Data still waiting or in flight from this module."""
         return bool(self.queue or self._beats)
 
+    @property
+    def quiescent(self) -> bool:
+        # Disabled, or nothing queued and nothing in flight: clocking
+        # would touch no channel and no state.
+        return not self.enabled or not (self.queue or self._beats)
+
     def timing_contract(self) -> TimingContract:
         # One output register: a queued word reaches the channel on
         # the cycle it is clocked.
@@ -100,6 +106,12 @@ class FlagInserter(Module):
         self._carry = bytearray()
         self.flags_inserted = 0
         self.frames_wrapped = 0
+
+    @property
+    def quiescent(self) -> bool:
+        # clock() is input-driven: with nothing to pop it returns
+        # immediately, whatever the carry holds.
+        return not self.inp.can_pop
 
     def capacity_needs(self):
         # Worst case one beat closes a frame: carry (<= W-1) + W new

@@ -1,0 +1,46 @@
+"""repro.fastpath — the frame-level fast datapath.
+
+The cycle-accurate P5 in :mod:`repro.core` is the golden model: every
+register, stall and resynchronisation buffer of the paper, one clock
+at a time.  This package is its throughput-serving twin: the same
+stuff → CRC → frame → delineate → destuff → check transformation
+applied to *whole frames and batches of frames* with vectorised numpy
+kernels and the C-speed :mod:`zlib` CRC — no per-cycle stepping.
+
+The two engines are kept honest against each other by the
+:class:`~repro.fastpath.differential.DifferentialHarness`, which runs
+identical workloads through both and asserts byte-identical line
+streams, identical frame verdicts and identical OAM-visible counters.
+``repro bench`` records the speedup trajectory in
+``BENCH_fastpath.json``; see ``docs/performance.md`` for when to use
+which engine.
+"""
+
+from repro.fastpath.differential import DifferentialHarness, DifferentialReport
+from repro.fastpath.engine import (
+    FastpathEngine,
+    FastpathRxResult,
+    FastpathTxResult,
+)
+from repro.fastpath.modules import (
+    FastpathFrameSink,
+    FastpathFrameSource,
+    FastpathRx,
+    FastpathTx,
+    build_fastpath_loopback,
+)
+from repro.fastpath.sonet import SonetFastpath
+
+__all__ = [
+    "FastpathEngine",
+    "FastpathTxResult",
+    "FastpathRxResult",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "FastpathTx",
+    "FastpathRx",
+    "FastpathFrameSource",
+    "FastpathFrameSink",
+    "build_fastpath_loopback",
+    "SonetFastpath",
+]

@@ -1,0 +1,288 @@
+"""The frame-level fast datapath engine.
+
+Everything the cycle-accurate P5 does to a frame — FCS generation,
+octet stuffing, flag wrapping, delineation, destuffing, FCS checking —
+expressed as whole-buffer transformations:
+
+* **TX** — a *batch* of frame contents becomes one wire byte stream in
+  a single pass: per-frame CRCs via :func:`zlib.crc32` (bit-identical
+  to FCS-32, see :mod:`repro.crc.polynomial`), then one vectorised
+  scatter that stuffs every body and places every flag with numpy
+  index arithmetic.
+* **RX** — the wire stream is delineated by one ``np.flatnonzero`` over
+  the flag mask; each body is destuffed with a vectorised run-parity
+  kernel that reproduces the cycle model's
+  :func:`~repro.core.escape_det.contract_word` semantics exactly
+  (including non-conforming chained-escape input), then residue-checked.
+
+The engine mirrors the cycle model's observable behaviour: identical
+line bytes on TX, and on RX identical frame verdicts plus the OAM
+counter set (aborts, oversize cuts, runts, hunt discards, escapes
+deleted, empty bodies).  The
+:class:`~repro.fastpath.differential.DifferentialHarness` asserts this
+equivalence run by run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import P5Config
+from repro.crc.table import TableCrc
+from repro.hdlc.constants import ESCAPE_XOR
+from repro.rtl.module import ChannelTiming, TimingContract
+
+__all__ = ["FastpathEngine", "FastpathTxResult", "FastpathRxResult"]
+
+
+@dataclass(frozen=True)
+class FastpathTxResult:
+    """One encoded batch: the wire stream plus TX-side OAM counters."""
+
+    line: bytes
+    frames: int
+    content_octets: int
+    octets_escaped: int
+
+    @property
+    def line_octets(self) -> int:
+        return len(self.line)
+
+
+@dataclass
+class FastpathRxResult:
+    """One decoded stream: frames with verdicts plus RX-side counters.
+
+    The counters carry the same meaning as the cycle model's OAM
+    registers (:mod:`repro.core.oam`): ``frames_ok`` / ``fcs_errors`` /
+    ``runt_frames`` mirror ``CrcCheck``, ``aborts`` / ``oversize_drops``
+    / ``empty_bodies`` / ``octets_discarded_hunting`` mirror
+    ``WordDelineator``, and ``octets_deleted`` mirrors the Escape
+    Detect unit.
+    """
+
+    frames: List[Tuple[bytes, bool]] = field(default_factory=list)
+    frames_ok: int = 0
+    fcs_errors: int = 0
+    runt_frames: int = 0
+    aborts: int = 0
+    oversize_drops: int = 0
+    empty_bodies: int = 0
+    octets_discarded_hunting: int = 0
+    octets_deleted: int = 0
+    #: Octets after the final flag — an open frame the cycle model
+    #: would still be holding in its delineation carry.
+    open_tail_octets: int = 0
+
+    def good_frames(self) -> List[bytes]:
+        """Contents of frames that passed the FCS check."""
+        return [content for content, good in self.frames if good]
+
+
+class FastpathEngine:
+    """Frame-level TX/RX datapath sharing the cycle model's config.
+
+    One engine instance is stateless between calls (unlike the cycle
+    pipelines there are no carries to drain), so a single engine can
+    serve any number of independent encode/decode batches.
+    """
+
+    #: Same declaration shape as the behavioural framers: stuffing can
+    #: at worst double the stream, and each frame adds two flags on
+    #: top of its FCS trailer.  Consumed by :mod:`repro.sta` through
+    #: the adapter modules in :mod:`repro.fastpath.modules`.
+    TIMING_CONTRACT = TimingContract(
+        latency_cycles=1,
+        latency_is_bound=False,
+        outputs=(ChannelTiming(max_expansion=2.0, per_frame_octets=2 + 4),),
+    )
+
+    def __init__(self, config: Optional[P5Config] = None) -> None:
+        self.config = config or P5Config()
+        spec = self.config.fcs
+        self.fcs_octets = spec.width // 8
+        # zlib.crc32 *is* FCS-32 (CRC-32/ISO-HDLC): reflected, init and
+        # xorout all-ones.  Any other spec takes the table engine.
+        self._zlib_ok = (
+            spec.width == 32
+            and spec.poly == 0x04C11DB7
+            and spec.refin
+            and spec.refout
+            and spec.init == 0xFFFFFFFF
+            and spec.xorout == 0xFFFFFFFF
+        )
+        self._table = None if self._zlib_ok else TableCrc(spec)
+        self._escape_values = np.array(
+            sorted(self.config.escape_octets), dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------- CRC
+    def fcs_of(self, content: bytes) -> int:
+        """The published FCS of one frame's content."""
+        if self._zlib_ok:
+            return zlib.crc32(content)
+        return self._table.compute(content)
+
+    def _residue_ok(self, clear: bytes) -> bool:
+        """Magic-residue test over content + transmitted FCS."""
+        spec = self.config.fcs
+        if self._zlib_ok:
+            return (zlib.crc32(clear) ^ 0xFFFFFFFF) == spec.residue
+        self._table.reset()
+        self._table.update(clear)
+        return self._table.residue_value() == spec.residue
+
+    # -------------------------------------------------------------------- TX
+    def encode_frame(self, content: bytes) -> bytes:
+        """One frame's wire bytes: ``7E <stuffed content+FCS> 7E``."""
+        return self.encode_frames([content]).line
+
+    def encode_frames(self, contents: Sequence[bytes]) -> FastpathTxResult:
+        """Encode a whole batch of frames into one wire byte stream.
+
+        The output is bit-identical to what the cycle-accurate
+        transmitter puts on the PHY for the same submissions: each
+        frame individually wrapped in flags, frames back to back.
+
+        The batch is one vectorised pass: all bodies (content + FCS
+        trailer) are concatenated, escapable octets located with a
+        single ``np.isin``, and every output position — including both
+        flags of every frame — computed by index arithmetic, so the
+        wire stream is written with three scatter stores regardless of
+        frame count.
+        """
+        if not contents:
+            return FastpathTxResult(
+                line=b"", frames=0, content_octets=0, octets_escaped=0
+            )
+        fcs_octets = self.fcs_octets
+        bodies: List[bytes] = []
+        content_octets = 0
+        for content in contents:
+            if not content:
+                raise ValueError("cannot transmit an empty frame")
+            content_octets += len(content)
+            bodies.append(
+                content + self.fcs_of(content).to_bytes(fcs_octets, "little")
+            )
+        lengths = np.fromiter(
+            (len(b) for b in bodies), dtype=np.int64, count=len(bodies)
+        )
+        cat = np.frombuffer(b"".join(bodies), dtype=np.uint8)
+        needs = np.isin(cat, self._escape_values)
+        escapes = int(needs.sum())
+        # Where each input octet lands on the wire: its own index, plus
+        # one slot per escape inserted before it, plus the flags of the
+        # frames up to and including its own opening flag.
+        esc_before = np.cumsum(needs) - needs
+        frame_idx = np.repeat(np.arange(len(bodies)), lengths)
+        positions = np.arange(cat.size) + esc_before + 2 * frame_idx + 1
+        total = cat.size + escapes + 2 * len(bodies)
+        # Every slot not written below is a flag position by
+        # construction (one before and one after each stuffed body).
+        out = np.full(total, self.config.flag_octet, dtype=np.uint8)
+        out[positions] = np.where(needs, self.config.esc_octet, cat)
+        out[positions[needs] + 1] = cat[needs] ^ ESCAPE_XOR
+        return FastpathTxResult(
+            line=out.tobytes(),
+            frames=len(bodies),
+            content_octets=content_octets,
+            octets_escaped=escapes,
+        )
+
+    # -------------------------------------------------------------------- RX
+    def decode_stream(self, line: bytes) -> FastpathRxResult:
+        """Delineate, destuff and FCS-check a wire byte stream.
+
+        Mirrors the cycle receiver's error handling: octets before the
+        first flag are hunt discards, a body ending in the escape octet
+        is the RFC 1662 abort sequence, a body longer than
+        ``max_frame_octets`` is cut at the same octet the cycle
+        delineator cuts it — and, exactly like the cycle model, the cut
+        prefix is force-closed as a frame of its own (destuffed and
+        FCS-checked; the remainder counts as hunt discards) — and a
+        destuffed frame no larger than the FCS is a silently swallowed
+        runt.
+        """
+        result = FastpathRxResult()
+        arr = np.frombuffer(line, dtype=np.uint8)
+        flag_positions = np.flatnonzero(arr == self.config.flag_octet)
+        if flag_positions.size == 0:
+            result.octets_discarded_hunting = arr.size
+            return result
+        result.octets_discarded_hunting += int(flag_positions[0])
+        result.open_tail_octets = int(arr.size - flag_positions[-1] - 1)
+        max_body = self.config.max_frame_octets
+        fcs_octets = self.fcs_octets
+        esc_octet = self.config.esc_octet
+        # Bodies are the (possibly empty) spans between adjacent flags;
+        # numpy slices keep them zero-copy views of the line buffer.
+        for start, end in zip(flag_positions[:-1] + 1, flag_positions[1:]):
+            if end == start:
+                result.empty_bodies += 1
+                continue
+            body = arr[start:end]
+            if max_body and body.size > max_body:
+                # The cycle delineator cuts on the (max+1)-th body
+                # octet, force-closes the already-shipped prefix as a
+                # frame (the cut always lies past the held-back window
+                # because max_frame_octets >= 4 words), and re-hunts;
+                # the rest of the body is noise.  No abort check: the
+                # cut is forced by count, not by ESC-then-FLAG.
+                result.oversize_drops += 1
+                result.octets_discarded_hunting += body.size - (max_body + 1)
+                body = body[: max_body + 1]
+            elif body[-1] == esc_octet:
+                result.aborts += 1
+                continue
+            clear, deleted = self._destuff(body)
+            result.octets_deleted += deleted
+            if len(clear) <= fcs_octets:
+                result.runt_frames += 1
+                continue
+            good = self._residue_ok(clear)
+            if good:
+                result.frames_ok += 1
+            else:
+                result.fcs_errors += 1
+            result.frames.append((clear[:-fcs_octets], good))
+        return result
+
+    def _destuff(self, body: np.ndarray) -> Tuple[bytes, int]:
+        """Vectorised escape removal with cycle-exact run semantics.
+
+        :func:`~repro.core.escape_det.contract_word` deletes an escape
+        and XORs whatever octet follows — so within a maximal run of
+        consecutive escape octets, the even-offset ones delete and the
+        odd-offset ones are themselves the restored data (the
+        non-conforming ``7D 7D`` pair decodes to ``5D``, exactly as the
+        cycle pipeline does).
+        """
+        esc = body == self.config.esc_octet
+        if not esc.any():
+            return body.tobytes(), 0
+        indices = np.arange(body.size)
+        prev_esc = np.empty_like(esc)
+        prev_esc[0] = False
+        prev_esc[1:] = esc[:-1]
+        run_start = np.where(esc & ~prev_esc, indices, -1)
+        offset_in_run = indices - np.maximum.accumulate(run_start)
+        delete = esc & (offset_in_run % 2 == 0)
+        xor_next = np.empty_like(delete)
+        xor_next[0] = False
+        xor_next[1:] = delete[:-1]
+        out = body.copy()
+        out[xor_next] ^= ESCAPE_XOR
+        return out[~delete].tobytes(), int(delete.sum())
+
+    # -------------------------------------------------------------- loopback
+    def loopback(
+        self, contents: Sequence[bytes]
+    ) -> Tuple[FastpathTxResult, FastpathRxResult]:
+        """Encode a batch and decode it straight back (clean wire)."""
+        tx = self.encode_frames(contents)
+        return tx, self.decode_stream(tx.line)

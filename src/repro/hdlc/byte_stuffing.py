@@ -46,6 +46,10 @@ def stuffed_length(data: bytes, accm: Optional[Accm] = None) -> int:
     resynchronisation buffer has to absorb.
     """
     escapes = escape_set(accm)
+    if len(data) >= _VECTOR_THRESHOLD:
+        arr = np.frombuffer(data, dtype=np.uint8)
+        needs = np.isin(arr, np.fromiter(escapes, dtype=np.uint8))
+        return len(data) + int(needs.sum())
     return len(data) + sum(1 for b in data if b in escapes)
 
 

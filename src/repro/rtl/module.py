@@ -50,6 +50,22 @@ class Channel:
     semantics are identical.
     """
 
+    #: The simulator's hot loop touches every channel every cycle;
+    #: slots keep the attribute loads off the dict path.
+    __slots__ = (
+        "name",
+        "capacity",
+        "registered",
+        "producers",
+        "consumers",
+        "_queue",
+        "pushes",
+        "pops",
+        "max_occupancy",
+        "on_push",
+        "on_pop",
+    )
+
     def __init__(self, name: str, capacity: int = 1, *, registered: bool = True) -> None:
         if capacity < 1:
             raise ValueError("channel capacity must be >= 1")
@@ -62,6 +78,11 @@ class Channel:
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
+        #: Instrumentation taps (e.g. the conformance monitor): called
+        #: with the item after a successful push / pop.  ``None`` (the
+        #: common case) costs one attribute test in the hot path.
+        self.on_push: Optional[Any] = None
+        self.on_pop: Optional[Any] = None
 
     # ------------------------------------------------------------- handshake
     @property
@@ -88,12 +109,17 @@ class Channel:
         self.pushes += 1
         if len(self._queue) > self.max_occupancy:
             self.max_occupancy = len(self._queue)
+        if self.on_push is not None:
+            self.on_push(item)
 
     def pop(self) -> Any:
         if not self._queue:
             raise BackpressureOverflow(f"pop from empty channel {self.name!r}")
         self.pops += 1
-        return self._queue.popleft()
+        item = self._queue.popleft()
+        if self.on_pop is not None:
+            self.on_pop(item)
+        return item
 
     def peek(self) -> Any:
         if not self._queue:
@@ -182,6 +208,21 @@ class Module:
     sink-first, so checking ``can_push`` *after* downstream modules
     have run models a registered pipeline advancing in lock-step.
     """
+
+    #: Base attributes are slotted for the simulator's benefit;
+    #: subclasses (which do not declare ``__slots__``) still get a
+    #: normal ``__dict__`` for their own state.
+    __slots__ = ("name", "cycles", "stalled_cycles", "reads_from", "writes_to")
+
+    #: Quiescence hook for the simulator's idle-module skipping: a
+    #: module (or property override) reporting ``True`` promises that
+    #: calling :meth:`clock` right now would change *nothing* — no
+    #: channel traffic, no internal state, no statistics beyond the
+    #: cycle counter.  The simulator then skips the call and bumps
+    #: :attr:`cycles` directly, so observable behaviour (including
+    #: per-module cycle counts) is identical.  The base class never
+    #: promises quiescence.
+    quiescent: bool = False
 
     def __init__(self, name: str) -> None:
         self.name = name

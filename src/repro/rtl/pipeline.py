@@ -149,6 +149,17 @@ class StallPattern:
         """No stalls: full line-rate."""
         return cls()
 
+    @property
+    def is_never(self) -> bool:
+        """True when :meth:`active` can never stall (and draws no RNG).
+
+        Modules consult this before promising quiescence to the
+        simulator: a probabilistic pattern consumes random numbers on
+        every ``active()`` call, so skipping the call would change the
+        stall schedule.
+        """
+        return self.every is None and self.probability == 0.0 and self._burst_left == 0
+
     def active(self, cycle: int) -> bool:
         """Whether to stall on this cycle."""
         if self._burst_left > 0:
@@ -188,6 +199,12 @@ class StreamSource(Module):
         self._beats = itertools.chain(self._beats, list(beats))
         self.done = False
 
+    @property
+    def quiescent(self) -> bool:
+        # Only once the iterator has been *observed* exhausted (done
+        # set by clock) and the stall pattern draws no RNG.
+        return self.done and self._pending is None and self.stall.is_never
+
     def clock(self) -> None:
         if self.stall.active(self.cycles):
             return
@@ -225,6 +242,10 @@ class StreamSink(Module):
         self.stall = stall or StallPattern.never()
         self.beats: List[WordBeat] = []
         self.first_arrival_cycle: Optional[int] = None
+
+    @property
+    def quiescent(self) -> bool:
+        return self.stall.is_never and not self.inp.can_pop
 
     def clock(self) -> None:
         if self.stall.active(self.cycles):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PipelineStallError, SimulationError
 from repro.rtl.module import Channel, Module
@@ -30,6 +30,19 @@ class Simulator:
         :class:`~repro.errors.PipelineStallError` with a per-module
         occupancy diagnostic instead of spinning to the timeout.
         ``None`` (the default) disables the watchdog.
+
+    Performance notes
+    -----------------
+    The clock order and the watchdog's channel set are derived once
+    and cached; mutate the topology through :meth:`add_module` /
+    :meth:`add_channel` (or call :meth:`invalidate_topology` after
+    editing the lists directly) so the caches are rebuilt.  The inner
+    loop of :meth:`step` skips modules whose
+    :attr:`~repro.rtl.module.Module.quiescent` hook reports that
+    clocking them would be a no-op, and hoists the observer dispatch
+    out of the no-observer case — together with the frame-level
+    engine in :mod:`repro.fastpath` these are the "runs as fast as
+    the hardware allows" levers (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -49,11 +62,33 @@ class Simulator:
         self.watchdog = watchdog
         self._observers: List[Callable[[int], None]] = []
         self._watched: Optional[List[Channel]] = None
+        self._clock_order: Optional[Tuple[Module, ...]] = None
         self._conformance = None
 
     def add_observer(self, callback: Callable[[int], None]) -> None:
         """Register a per-cycle callback (called after each step)."""
         self._observers.append(callback)
+
+    # ------------------------------------------------------------- topology
+    def add_module(self, module: Module) -> None:
+        """Append a module (keeps the derived caches coherent)."""
+        self.modules.append(module)
+        self.invalidate_topology()
+
+    def add_channel(self, channel: Channel) -> None:
+        """Append an observational channel (keeps caches coherent)."""
+        self.channels.append(channel)
+        self.invalidate_topology()
+
+    def invalidate_topology(self) -> None:
+        """Drop the cached clock order and watchdog channel set.
+
+        Call after mutating :attr:`modules` / :attr:`channels` (or any
+        module's wiring) directly; :meth:`add_module` and
+        :meth:`add_channel` call it for you.
+        """
+        self._watched = None
+        self._clock_order = None
 
     def enable_conformance(self, *, strict: bool = True):
         """Install a contract-conformance monitor on this simulator.
@@ -78,19 +113,49 @@ class Simulator:
             self._conformance.assert_ok()
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the clock by ``cycles``."""
-        for _ in range(cycles):
-            for module in reversed(self.modules):
-                module.on_cycle()
-            self.cycle += 1
-            for callback in self._observers:
-                callback(self.cycle)
+        """Advance the clock by ``cycles``.
+
+        Batched stepping is the kernel's hot loop: the sink-first
+        module order is a cached tuple, modules reporting
+        :attr:`~repro.rtl.module.Module.quiescent` are skipped (their
+        cycle counters still advance), and the observer/conformance
+        dispatch is hoisted entirely out of the no-observer case.
+        """
+        order = self._clock_order
+        if order is None:
+            order = self._clock_order = tuple(reversed(self.modules))
+        observers = self._observers
+        if observers:
+            for _ in range(cycles):
+                for module in order:
+                    if module.quiescent:
+                        module.cycles += 1
+                    else:
+                        module.on_cycle()
+                self.cycle += 1
+                cycle = self.cycle
+                for callback in observers:
+                    callback(cycle)
+        else:
+            cycle = self.cycle
+            for _ in range(cycles):
+                for module in order:
+                    if module.quiescent:
+                        module.cycles += 1
+                    else:
+                        module.on_cycle()
+                cycle += 1
+            self.cycle = cycle
 
     # ----------------------------------------------------------- watchdog
     def _watch_channels(self) -> List[Channel]:
         """The channels the watchdog observes: the declared list plus
         everything the modules wired (so forgetting to pass a channel
-        cannot blind the watchdog to its activity)."""
+        cannot blind the watchdog to its activity).
+
+        Derived once and cached; :meth:`invalidate_topology` drops the
+        cache when the module/channel lists mutate.  Before the cache
+        every watchdog probe re-walked the whole module graph."""
         if self._watched is None:
             seen: List[Channel] = list(self.channels)
             ids = {id(ch) for ch in seen}
@@ -165,11 +230,23 @@ class Simulator:
         which in the P5 tests usually means a deadlocked handshake —
         and :class:`~repro.errors.PipelineStallError` (with a
         per-module occupancy diagnostic) if a watchdog budget is set
-        and no channel moves a word for that many cycles first.
+        and no channel moves a word for that many cycles first.  With
+        no watchdog budget the per-cycle activity probe is skipped
+        entirely.
         """
         limit = timeout if timeout is not None else self.max_cycles
         budget = watchdog if watchdog is not None else self.watchdog
         start = self.cycle
+        if budget is None:
+            while not condition():
+                if self.cycle - start >= limit:
+                    raise SimulationError(
+                        f"condition not reached within {limit} cycles "
+                        f"(started at {start}, now {self.cycle})"
+                    )
+                self.step()
+            self._check_conformance()
+            return self.cycle - start
         last_activity = self._activity()
         quiet_since = self.cycle
         while not condition():
@@ -178,7 +255,7 @@ class Simulator:
                     f"condition not reached within {limit} cycles "
                     f"(started at {start}, now {self.cycle})"
                 )
-            if budget is not None and self.cycle - quiet_since >= budget:
+            if self.cycle - quiet_since >= budget:
                 self._raise_stall(self.cycle - quiet_since)
             self.step()
             activity = self._activity()
@@ -200,7 +277,7 @@ class Simulator:
         start = self.cycle
         limit = timeout if timeout is not None else self.max_cycles
         budget = watchdog if watchdog is not None else self.watchdog
-        last_activity = self._activity()
+        last_activity = self._activity() if budget is not None else 0
         quiet_since = self.cycle
 
         while idle < idle_cycles:
@@ -212,9 +289,10 @@ class Simulator:
             self.step()
             busy_after = any(ch.can_pop for ch in self.channels)
             idle = 0 if (busy_before or busy_after) else idle + 1
-            activity = self._activity()
-            if activity != last_activity:
-                last_activity = activity
-                quiet_since = self.cycle
+            if budget is not None:
+                activity = self._activity()
+                if activity != last_activity:
+                    last_activity = activity
+                    quiet_since = self.cycle
         self._check_conformance()
         return self.cycle - start

@@ -86,19 +86,10 @@ class ContractMonitor:
         if id(channel) in self._wrapped:
             return
         self._wrapped.add(id(channel))
-        original_push, original_pop = channel.push, channel.pop
-
-        def push(item, _ch=channel, _orig=original_push):
-            _orig(item)
-            self._on_push(_ch, item)
-
-        def pop(_ch=channel, _orig=original_pop):
-            item = _orig()
-            self._on_pop(_ch, item)
-            return item
-
-        channel.push = push  # type: ignore[method-assign]
-        channel.pop = pop    # type: ignore[method-assign]
+        # Channel exposes instrumentation taps precisely so monitors
+        # do not have to monkeypatch methods on a slotted class.
+        channel.on_push = lambda item, _ch=channel: self._on_push(_ch, item)
+        channel.on_pop = lambda item, _ch=channel: self._on_pop(_ch, item)
 
     def _on_push(self, channel: Channel, item: Any) -> None:
         cycle = self._sim.cycle

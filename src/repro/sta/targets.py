@@ -37,4 +37,16 @@ def canonical_findings(*, clock_hz: float = 78.125e6) -> List[Finding]:
                 clock_hz=clock_hz,
             )
         )
+
+    from repro.fastpath.modules import build_fastpath_loopback
+
+    fp_modules, fp_channels = build_fastpath_loopback(P5Config.thirty_two_bit())
+    findings.extend(
+        analyze_topology(
+            fp_modules,
+            fp_channels,
+            topology_name="fastpath-loopback",
+            clock_hz=clock_hz,
+        )
+    )
     return findings

@@ -1,0 +1,49 @@
+"""The ``repro bench`` subcommand: JSON record, exit codes, flags."""
+
+import json
+
+from repro.cli import main
+from repro.fastpath.bench import BENCH_SCHEMA
+
+
+def test_smoke_writes_record_and_passes(tmp_path, capsys):
+    out = tmp_path / "BENCH_fastpath.json"
+    code = main(
+        ["bench", "--smoke", "--frames", "10", "--workload", "imix",
+         "--out", str(out)]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "PASS" in text and f"wrote {out}" in text
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["ok"] is True
+    imix = payload["workloads"]["imix"]
+    assert imix["differential_ok"] is True
+    assert imix["speedup_frames_per_s"] > 1.0
+    assert imix["fastpath"]["frames_per_s"] > imix["cycle"]["frames_per_s"]
+
+
+def test_json_flag_prints_record_without_file(capsys):
+    code = main(
+        ["bench", "--frames", "6", "--workload", "random", "--out", "-",
+         "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["workloads"]) == {"random"}
+    assert payload["frames_per_workload"] == 6
+
+
+def test_unmeetable_floor_fails(tmp_path, capsys):
+    code = main(
+        ["bench", "--frames", "6", "--workload", "imix",
+         "--floor", "1e9", "--out", str(tmp_path / "b.json")]
+    )
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_bad_frame_count_is_cli_error(capsys):
+    assert main(["bench", "--frames", "0", "--out", "-"]) == 2
+    assert "--frames must be >= 1" in capsys.readouterr().err
