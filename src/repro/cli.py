@@ -22,6 +22,10 @@ Subcommands
 ``faults``
     Seeded fault-injection campaigns over the loopback datapath with
     recovery-invariant checking (see :mod:`repro.faults`).
+``resilience``
+    Supervised redundant-link chaos soak: two P5 lanes under an
+    APS-style 1+1 selector, a recovery ladder, and graceful fastpath
+    degradation (see :mod:`repro.resilience`).
 ``bench``
     Two-engine benchmark: the cycle-accurate P5 loopback vs. the
     frame-level fastpath on identical workloads, differentially
@@ -134,6 +138,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     p_flt.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json",
+    )
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="supervised redundant-link soak with APS failover under chaos",
+    )
+    p_res.add_argument(
+        "--soak", action="store_true",
+        help="run the chaos soak (the default action; flag kept for "
+             "explicit CI invocations)",
+    )
+    p_res.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized soak (640 intervals x 16 frames, 24 chaos events)",
+    )
+    p_res.add_argument(
+        "--intervals", type=int, default=None,
+        help="override the interval count (default: 960, or 640 with --smoke)",
+    )
+    p_res.add_argument(
+        "--events", type=int, default=None,
+        help="override the chaos event count (default: 30, or 24 with --smoke)",
+    )
+    p_res.add_argument("--seed", type=int, default=1)
+    p_res.add_argument("--width", type=int, default=32, choices=(8, 16, 32, 64))
+    p_res.add_argument(
+        "--schedule", action="store_true",
+        help="print the deterministic chaos schedule and exit (no soak)",
+    )
+    p_res.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="also write the structured event log as JSON to PATH",
+    )
+    p_res.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_res.add_argument(
         "--json", action="store_true",
         help="shorthand for --format json",
     )
@@ -357,6 +401,62 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.errors import LinkDownError
+    from repro.resilience import LinkSupervisor, SupervisorConfig, chaos_schedule
+    from repro.resilience.report import render_events_json, render_json, render_text
+
+    intervals = args.intervals if args.intervals is not None else (
+        640 if args.smoke else 960
+    )
+    events = args.events if args.events is not None else (
+        24 if args.smoke else 30
+    )
+    if intervals < 1 or events < 2:
+        print(
+            "repro resilience: error: need --intervals >= 1 and --events >= 2",
+            file=sys.stderr,
+        )
+        return 2
+    config = SupervisorConfig(
+        intervals=intervals,
+        chaos_events=events,
+        seed=args.seed,
+        width_bits=args.width,
+    )
+    if args.schedule:
+        for event in chaos_schedule(
+            intervals=config.intervals,
+            events=config.chaos_events,
+            seed=config.seed,
+            hold_off=config.hold_off,
+            wait_to_restore=config.wait_to_restore,
+        ):
+            print(
+                f"{event.interval:>5} {event.lane:<8} {event.kind:<9} "
+                f"duration={event.duration} bits={event.bits}"
+            )
+        return 0
+    supervisor = LinkSupervisor(config)
+    try:
+        result = supervisor.run_soak()
+    except LinkDownError as exc:
+        print(f"repro resilience: link down: {exc}", file=sys.stderr)
+        for event in exc.events[-20:]:
+            print("  " + event.render(), file=sys.stderr)
+        return 1
+    if args.events_out:
+        with open(args.events_out, "w", encoding="utf-8") as handle:
+            handle.write(render_events_json(result) + "\n")
+    if args.json or args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+        if args.events_out:
+            print(f"wrote {args.events_out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -409,6 +509,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sta(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "resilience":
+        return _cmd_resilience(args)
     if args.command == "bench":
         return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -123,6 +123,23 @@ class ContractViolationError(SimulationError):
         self.findings = list(findings or [])
 
 
+class LinkDownError(ReproError):
+    """Both lanes of a protected link are down and recovery is exhausted.
+
+    Raised by :class:`repro.resilience.LinkSupervisor` when the
+    recovery ladder reaches its quarantine rung while neither the
+    working nor the protect lane passes traffic.  The :attr:`events`
+    list carries the supervisor's structured event log up to the
+    moment of declaration, so the post-mortem ships with the
+    exception.
+    """
+
+    def __init__(self, message: str, *, events=None) -> None:
+        super().__init__(message)
+        #: :class:`repro.resilience.events.ResilienceEvent` records.
+        self.events = list(events or [])
+
+
 class SynthesisError(ReproError):
     """The synthesis cost model could not map or fit a design."""
 

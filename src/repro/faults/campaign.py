@@ -98,6 +98,13 @@ class TrialSummary:
     stall_message: str
     event: Optional[FaultEvent]
     violations: List[Violation] = field(default_factory=list)
+    #: Seeds handed to the trial's stochastic components, all derived
+    #: from ``default_rng([campaign_seed, index])`` — recorded so a
+    #: report reader can verify that reruns are byte-reproducible and
+    #: re-create any single injector in isolation.
+    injector_seed: int = 0
+    stall_seed: Optional[int] = None
+    upset_seed: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -111,6 +118,11 @@ class TrialSummary:
             "stall_message": self.stall_message,
             "event": self.event.as_dict() if self.event else None,
             "violations": [v.as_dict() for v in self.violations],
+            "derived_seeds": {
+                "injector": self.injector_seed,
+                "stall": self.stall_seed,
+                "upset": self.upset_seed,
+            },
         }
 
 
@@ -143,6 +155,7 @@ class CampaignResult:
 def build_fault_harness(
     config: Optional[P5Config] = None,
     *,
+    name: str = "p5",
     seed: SeedLike = None,
     stall: Optional[StallPattern] = None,
     watchdog: Optional[int] = None,
@@ -153,11 +166,14 @@ def build_fault_harness(
     the injector, so a single system exercises the full TX + RX path;
     the OAM is serviced every cycle.  Also the topology the lint graph
     DRC validates (see :func:`repro.lint.targets.shipped_topologies`).
+    ``name`` prefixes every module and channel, so several harnesses
+    (e.g. the resilience runtime's working + protect lanes) can share
+    one topology without name collisions.
     """
     cfg = config or P5Config(max_frame_octets=512)
-    system = P5System(cfg, name="p5")
+    system = P5System(cfg, name=name)
     injector = BeatFaultInjector(
-        "p5.faultwire", system.tx.phy_out, system.rx.phy_in, seed=seed
+        f"{name}.faultwire", system.tx.phy_out, system.rx.phy_in, seed=seed
     )
     if stall is not None:
         system.rx.sink.stall = stall
@@ -199,15 +215,20 @@ def _run_trial(cfg: CampaignConfig, index: int) -> Tuple[TrialSummary, LineStats
     )
     frames = _trial_frames(rng, cfg)
 
+    # Every derived seed below comes from the trial stream (and is
+    # recorded on the summary), so a rerun with the same campaign seed
+    # rebuilds byte-identical injectors.  The draw order is load-bearing:
+    # reordering it changes every seeded campaign's outcome.
     stall = None
+    stall_seed: Optional[int] = None
     if layer == "backpressure":
-        stall = backpressure_storm(
-            0.25 + 0.5 * float(rng.random()),
-            burst=int(rng.integers(1, 9)),
-            seed=int(rng.integers(1 << 31)),
-        )
+        probability = 0.25 + 0.5 * float(rng.random())
+        burst = int(rng.integers(1, 9))
+        stall_seed = int(rng.integers(1 << 31))
+        stall = backpressure_storm(probability, burst=burst, seed=stall_seed)
+    injector_seed = int(rng.integers(1 << 31))
     system, injector, sim = build_fault_harness(
-        p5cfg, seed=int(rng.integers(1 << 31)), stall=stall,
+        p5cfg, seed=injector_seed, stall=stall,
         watchdog=cfg.watchdog,
     )
     for frame in frames:
@@ -215,6 +236,7 @@ def _run_trial(cfg: CampaignConfig, index: int) -> Tuple[TrialSummary, LineStats
 
     event: Optional[FaultEvent] = None
     upset: Optional[OamRegisterUpset] = None
+    upset_seed: Optional[int] = None
     if layer in ("line", "beat"):
         kinds = _LINE_KINDS if layer == "line" else _BEAT_KINDS
         kind = kinds[int(rng.integers(len(kinds)))]
@@ -222,7 +244,8 @@ def _run_trial(cfg: CampaignConfig, index: int) -> Tuple[TrialSummary, LineStats
         bits = int(rng.integers(2, 33)) if kind == "burst" else 1
         injector.arm(kind, after_beats=int(rng.integers(window)), bits=bits)
     elif layer == "oam":
-        upset = OamRegisterUpset(system.oam, seed=int(rng.integers(1 << 31)))
+        upset_seed = int(rng.integers(1 << 31))
+        upset = OamRegisterUpset(system.oam, seed=upset_seed)
 
     def settled() -> bool:
         return (
@@ -273,6 +296,9 @@ def _run_trial(cfg: CampaignConfig, index: int) -> Tuple[TrialSummary, LineStats
         stall_message=stall_message,
         event=event,
         violations=violations,
+        injector_seed=injector_seed,
+        stall_seed=stall_seed,
+        upset_seed=upset_seed,
     ), injector.line.stats
 
 

@@ -15,7 +15,10 @@ from repro.faults.campaign import LAYERS, CampaignResult
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+#: Version 2 added the per-trial records (``trials``), including each
+#: trial's derived seeds and injector event, so byte-reproducibility of
+#: the injector layer is visible in — and checkable from — the report.
+JSON_SCHEMA_VERSION = 2
 
 
 def _layer_summary(result: CampaignResult) -> Dict[str, Dict[str, int]]:
@@ -76,6 +79,7 @@ def render_json(result: CampaignResult) -> str:
             "max_frame_octets": result.config.max_frame_octets,
         },
         "layers": _layer_summary(result),
+        "trials": [trial.as_dict() for trial in result.trials],
         "line_stats": result.line_stats.as_dict(),
         "damaged_frames": result.damaged_total(),
         "violations": [v.as_dict() for v in result.violations],

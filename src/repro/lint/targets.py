@@ -64,4 +64,9 @@ def shipped_topologies() -> List[Tuple[str, Sequence[Module], Iterable[Channel]]
     fp_modules, fp_channels = build_fastpath_loopback(P5Config.thirty_two_bit())
     topologies.append(("fastpath-loopback", fp_modules, fp_channels))
 
+    from repro.resilience.targets import build_dual_lane_topology
+
+    dl_modules, dl_channels = build_dual_lane_topology()
+    topologies.append(("resilience-dual-lane", dl_modules, dl_channels))
+
     return topologies

@@ -26,7 +26,19 @@ from typing import List, Optional
 from repro.errors import ProtocolError
 from repro.ppp.protocol_numbers import PROTO_LQR
 
-__all__ = ["LqrPacket", "LinkQualityMonitor", "QualityVerdict"]
+__all__ = ["LqrPacket", "LinkQualityMonitor", "QualityVerdict", "counter_delta"]
+
+_COUNTER_MASK = 0xFFFFFFFF
+
+
+def counter_delta(current: int, previous: int) -> int:
+    """Mod-2\N{SUPERSCRIPT THREE}\N{SUPERSCRIPT TWO} delta between two LQR counter samples.
+
+    RFC 1333 counters are 32-bit and wrap; a raw subtraction across the
+    wrap goes negative, which the loss math would clamp into a silent
+    0-loss interval (or, for the sent counter, a nonsense denominator).
+    """
+    return (current - previous) & _COUNTER_MASK
 
 _FIELDS = (
     "magic",
@@ -188,11 +200,18 @@ class LinkQualityMonitor:
             return None
         verdict = QualityVerdict(
             interval=len(self.verdicts) + 1,
-            # What the peer says it received of what we said we sent:
-            outbound_sent=packet.peer_out_packets - previous.peer_out_packets,
-            outbound_received=packet.peer_in_packets - previous.peer_in_packets,
+            # What the peer says it received of what we said we sent
+            # (wire counters are 32-bit, so deltas are mod-2^32):
+            outbound_sent=counter_delta(
+                packet.peer_out_packets, previous.peer_out_packets
+            ),
+            outbound_received=counter_delta(
+                packet.peer_in_packets, previous.peer_in_packets
+            ),
             # What the peer sent vs what we actually got:
-            inbound_expected=packet.last_out_packets - previous.last_out_packets,
+            inbound_expected=counter_delta(
+                packet.last_out_packets, previous.last_out_packets
+            ),
             inbound_received=self.in_packets - self._in_packets_at_last_report,
         )
         self._in_packets_at_last_report = self.in_packets

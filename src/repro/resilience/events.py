@@ -1,0 +1,90 @@
+"""Structured event log shared by every resilience component.
+
+Everything the supervisor, health engine, APS controller, recovery
+ladder and fastpath guard decide is recorded here as one flat,
+time-ordered stream — the "black box" an operator replays after an
+outage, and exactly what the CLI ships as the JSON event-log artifact.
+Events are plain data (no behaviour), keyed by the supervisor's
+logical interval clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ResilienceEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One decision or observation, at one interval, about one lane."""
+
+    interval: int
+    category: str          # chaos | health | aps | ladder | fastpath | traffic
+    lane: str              # "working", "protect" or "-" for link-wide
+    kind: str              # category-specific verb, e.g. "switch", "cut"
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "category": self.category,
+            "lane": self.lane,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return (
+            f"[{self.interval:>5}] {self.category:<8} {self.lane:<8} "
+            f"{self.kind}" + (f" ({extra})" if extra else "")
+        )
+
+
+class EventLog:
+    """Append-only, interval-ordered log of :class:`ResilienceEvent`."""
+
+    def __init__(self) -> None:
+        self.events: List[ResilienceEvent] = []
+
+    def record(
+        self,
+        interval: int,
+        category: str,
+        lane: str,
+        kind: str,
+        **detail: object,
+    ) -> ResilienceEvent:
+        event = ResilienceEvent(
+            interval=interval,
+            category=category,
+            lane=lane,
+            kind=kind,
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def select(
+        self,
+        *,
+        category: Optional[str] = None,
+        kind: Optional[str] = None,
+        lane: Optional[str] = None,
+    ) -> List[ResilienceEvent]:
+        """Filtered view (all filters are conjunctive)."""
+        return [
+            e
+            for e in self.events
+            if (category is None or e.category == category)
+            and (kind is None or e.kind == kind)
+            and (lane is None or e.lane == lane)
+        ]
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [e.as_dict() for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

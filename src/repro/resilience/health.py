@@ -1,0 +1,178 @@
+"""Per-lane health scoring with hysteresis.
+
+The supervisor folds everything it can observe about a lane over one
+interval — delivery ratio against the bridged traffic, the receiver's
+framing-fault and FCS counters, the RFC 1333 LQR verdict (or its
+absence: a starved LQR exchange is itself a symptom), and timing
+ContractMonitor findings from cycle-mode spot checks — into a single
+score in ``[0, 1]``, then runs the score through a signal-degrade /
+signal-fail hysteresis so one noisy interval cannot flap the APS
+selector.
+
+The thresholds mirror GR-253's SD/SF split: *signal fail* is the hard
+condition (lane effectively dark), *signal degrade* the soft one
+(errored but passing traffic).  Recovery requires ``recover_intervals``
+consecutive clean scores above the corresponding *exit* threshold —
+the hysteresis gap is what keeps a lane from oscillating between
+states on a score hovering at the boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+__all__ = ["LaneState", "HealthSample", "HealthEngine"]
+
+
+class LaneState(enum.Enum):
+    """Hysteresis outcome for one lane."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """What one interval showed about one lane."""
+
+    #: Frames the head end bridged onto the lane this interval
+    #: (data + control; what *should* have arrived).
+    expected_frames: int
+    #: FCS-good frames the lane's tail actually produced.
+    delivered_ok: int
+    fcs_errors: int = 0
+    #: Delineation damage: aborts + oversize cuts + runts this interval.
+    framing_faults: int = 0
+    #: Octets discarded while hunting for a flag (resync churn).
+    hunt_octets: int = 0
+    #: Whether the LQR exchange completed this interval.
+    lqr_seen: bool = True
+    #: Loss fractions from the lane's LQR verdict (0.0 when clean).
+    outbound_loss: float = 0.0
+    inbound_loss: float = 0.0
+    #: Timing-contract findings observed in cycle-mode operation.
+    contract_violations: int = 0
+
+
+class HealthEngine:
+    """Folds :class:`HealthSample` streams into a lane state.
+
+    Parameters
+    ----------
+    name:
+        Lane name, echoed in ``describe()`` output.
+    sf_enter / sf_exit:
+        Score at or below which the lane *fails*, and at or above
+        which a failed lane may begin recovering.
+    sd_enter / sd_exit:
+        The analogous signal-degrade pair.
+    recover_intervals:
+        Consecutive intervals above the exit threshold required to
+        step the state back up (FAILED -> DEGRADED -> OK).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        sf_enter: float = 0.35,
+        sf_exit: float = 0.75,
+        sd_enter: float = 0.70,
+        sd_exit: float = 0.90,
+        recover_intervals: int = 2,
+    ) -> None:
+        if not (0.0 <= sf_enter < sf_exit <= 1.0):
+            raise ConfigError("need 0 <= sf_enter < sf_exit <= 1")
+        if not (0.0 <= sd_enter < sd_exit <= 1.0):
+            raise ConfigError("need 0 <= sd_enter < sd_exit <= 1")
+        if sf_enter > sd_enter:
+            raise ConfigError("signal-fail must be stricter than signal-degrade")
+        if recover_intervals < 1:
+            raise ConfigError("recover_intervals must be >= 1")
+        self.name = name
+        self.sf_enter = sf_enter
+        self.sf_exit = sf_exit
+        self.sd_enter = sd_enter
+        self.sd_exit = sd_exit
+        self.recover_intervals = recover_intervals
+        self.state = LaneState.OK
+        self.score = 1.0
+        self.samples = 0
+        self._good_streak = 0
+        self.scores: List[float] = []
+
+    # ----------------------------------------------------------------- scoring
+    def score_sample(self, sample: HealthSample) -> float:
+        """One interval's score: delivery ratio minus symptom penalties."""
+        if sample.expected_frames > 0:
+            base = min(1.0, sample.delivered_ok / sample.expected_frames)
+        else:
+            # Idle interval: judge only by symptoms.
+            base = 1.0
+        penalty = 0.0
+        penalty += 0.5 * max(sample.outbound_loss, sample.inbound_loss)
+        if not sample.lqr_seen:
+            penalty += 0.25
+        penalty += min(0.3, 0.05 * sample.framing_faults)
+        penalty += min(0.2, 0.05 * sample.fcs_errors)
+        if sample.hunt_octets:
+            penalty += 0.05
+        if sample.contract_violations:
+            penalty += 0.4
+        return max(0.0, base - penalty)
+
+    def update(self, sample: HealthSample) -> LaneState:
+        """Fold one interval's sample; returns the (new) lane state."""
+        self.samples += 1
+        self.score = self.score_sample(sample)
+        self.scores.append(self.score)
+        if self.state is LaneState.OK:
+            self._good_streak = 0
+            if self.score <= self.sf_enter:
+                self.state = LaneState.FAILED
+            elif self.score <= self.sd_enter:
+                self.state = LaneState.DEGRADED
+        elif self.state is LaneState.DEGRADED:
+            if self.score <= self.sf_enter:
+                self.state = LaneState.FAILED
+                self._good_streak = 0
+            elif self.score >= self.sd_exit:
+                self._good_streak += 1
+                if self._good_streak >= self.recover_intervals:
+                    self.state = LaneState.OK
+                    self._good_streak = 0
+            else:
+                self._good_streak = 0
+        else:  # FAILED
+            if self.score >= self.sf_exit:
+                self._good_streak += 1
+                if self._good_streak >= self.recover_intervals:
+                    self.state = LaneState.DEGRADED
+                    # A streak that also clears sd_exit keeps counting
+                    # toward OK rather than starting over.
+                    if self.score >= self.sd_exit:
+                        self._good_streak = self.recover_intervals - 1
+                    else:
+                        self._good_streak = 0
+            else:
+                self._good_streak = 0
+        return self.state
+
+    # ------------------------------------------------------------------ views
+    @property
+    def usable(self) -> bool:
+        """Whether the APS selector may stand traffic on this lane."""
+        return self.state is not LaneState.FAILED
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "score": round(self.score, 4),
+            "samples": self.samples,
+        }

@@ -1,0 +1,162 @@
+"""The recovery ladder: bounded retries with exponential backoff.
+
+When the active lane is unhealthy the supervisor does not thrash — it
+climbs a fixed escalation ladder, giving each rung a bounded number of
+attempts and spacing attempts with exponential backoff plus seeded
+jitter (so two supervisors sharing a failure domain do not retry in
+lockstep):
+
+1. ``resync``       — drop the receiver's delineation carry, re-hunt;
+2. ``flush``        — flush the RX side and the wire's deferred bytes;
+3. ``renegotiate``  — bounce LCP through :class:`repro.ppp.fsm`
+   restart timers (Down/Up, then Configure exchange or TO- give-up);
+4. ``switch``       — ask the APS controller for a lane switch;
+5. ``quarantine``   — declare the link down (typed
+   :class:`repro.errors.LinkDownError` if both lanes are gone).
+
+The ladder resets to the bottom rung the moment the lane is healthy
+again; every action it emits is a structured event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.resilience.events import EventLog
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["RecoveryStep", "LadderAction", "RecoveryLadder"]
+
+
+class RecoveryStep(enum.Enum):
+    RESYNC = "resync"
+    FLUSH = "flush"
+    RENEGOTIATE = "renegotiate"
+    SWITCH = "switch"
+    QUARANTINE = "quarantine"
+
+
+#: Escalation order, cheapest remedy first.
+LADDER = (
+    RecoveryStep.RESYNC,
+    RecoveryStep.FLUSH,
+    RecoveryStep.RENEGOTIATE,
+    RecoveryStep.SWITCH,
+    RecoveryStep.QUARANTINE,
+)
+
+
+@dataclass(frozen=True)
+class LadderAction:
+    """One emitted recovery attempt."""
+
+    interval: int
+    step: RecoveryStep
+    attempt: int           # 1-based attempt number within the rung
+    backoff: int           # intervals until the next attempt may fire
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "step": self.step.value,
+            "attempt": self.attempt,
+            "backoff": self.backoff,
+        }
+
+
+class RecoveryLadder:
+    """Escalation scheduler for one protected link."""
+
+    def __init__(
+        self,
+        *,
+        retries_per_step: int = 2,
+        backoff_base: int = 1,
+        backoff_cap: int = 8,
+        jitter: int = 1,
+        seed: SeedLike = None,
+        log: Optional[EventLog] = None,
+    ) -> None:
+        if retries_per_step < 1:
+            raise ConfigError("retries_per_step must be >= 1")
+        if backoff_base < 1 or backoff_cap < backoff_base:
+            raise ConfigError("need 1 <= backoff_base <= backoff_cap")
+        if jitter < 0:
+            raise ConfigError("jitter must be >= 0")
+        self.retries_per_step = retries_per_step
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.log = log if log is not None else EventLog()
+        self._rng = make_rng(seed)
+        self._rung = 0
+        self._attempt = 0
+        self._escalations = 0
+        self._next_allowed = 0
+        self.actions: List[LadderAction] = []
+
+    # ------------------------------------------------------------------ views
+    @property
+    def current_step(self) -> RecoveryStep:
+        return LADDER[self._rung]
+
+    @property
+    def quarantined(self) -> bool:
+        return self.current_step is RecoveryStep.QUARANTINE
+
+    # ---------------------------------------------------------------- actions
+    def _backoff(self) -> int:
+        """Exponential in total escalations, capped, plus seeded jitter."""
+        base = min(self.backoff_cap, self.backoff_base * (2 ** self._escalations))
+        extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
+        return base + extra
+
+    def next_action(self, interval: int, lane: str = "-") -> Optional[LadderAction]:
+        """The recovery attempt due this interval, if any.
+
+        Call only while the active lane is unhealthy; returns ``None``
+        while backing off.  The quarantine rung re-emits (throttled by
+        the capped backoff) rather than advancing — there is nothing
+        above it.
+        """
+        if interval < self._next_allowed:
+            return None
+        step = self.current_step
+        self._attempt += 1
+        backoff = self._backoff()
+        self._escalations += 1
+        self._next_allowed = interval + backoff
+        action = LadderAction(
+            interval=interval,
+            step=step,
+            attempt=self._attempt,
+            backoff=backoff,
+        )
+        self.actions.append(action)
+        self.log.record(
+            interval, "ladder", lane, step.value,
+            attempt=self._attempt, backoff=backoff,
+        )
+        if (
+            self._attempt >= self.retries_per_step
+            and step is not RecoveryStep.QUARANTINE
+        ):
+            self._rung += 1
+            self._attempt = 0
+            self.log.record(
+                interval, "ladder", lane, "escalate",
+                to=LADDER[self._rung].value,
+            )
+        return action
+
+    def reset(self, interval: int, lane: str = "-") -> None:
+        """Lane healthy again: back to the bottom rung, zero backoff."""
+        if self._rung or self._attempt or self._escalations:
+            self.log.record(interval, "ladder", lane, "reset")
+        self._rung = 0
+        self._attempt = 0
+        self._escalations = 0
+        self._next_allowed = 0

@@ -1,0 +1,36 @@
+"""The dual-lane protected topology, as a checkable module graph.
+
+The supervisor's runtime objects (guards, wires, monitors) are not RTL
+modules, but the datapath they protect is: two independent P⁵ lanes,
+each a full TX→injector→RX loopback (the :mod:`repro.faults` harness —
+the same wiring chaos impairs at soak time).  Building that pair as
+one graph lets ``repro lint`` run the ready/valid DRC over it and
+``repro sta`` verify its timing contracts, so the protected topology
+is held to exactly the same static discipline as the single-lane
+designs it supersedes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.rtl.module import Channel, Module
+
+__all__ = ["build_dual_lane_topology"]
+
+
+def build_dual_lane_topology() -> Tuple[Sequence[Module], Iterable[Channel]]:
+    """Elaborate the working+protect lane pair as one module graph."""
+    from repro.core.config import P5Config
+    from repro.faults.campaign import build_fault_harness
+
+    config = P5Config.thirty_two_bit(max_frame_octets=512)
+    modules: List[Module] = []
+    channels: List[Channel] = []
+    for lane in ("work", "prot"):
+        _system, _injector, sim = build_fault_harness(
+            config, name=f"aps.{lane}"
+        )
+        modules.extend(sim.modules)
+        channels.extend(sim.channels)
+    return modules, channels

@@ -1,0 +1,108 @@
+"""The physical lane model the supervisor's traffic crosses.
+
+One :class:`LaneWire` per lane, operating on whole wire-byte batches
+(the fastpath's native granularity) with three chaos hooks that reuse
+the :mod:`repro.faults` primitives:
+
+* ``burst`` — a contiguous flip of at most
+  :data:`~repro.faults.injectors.MAX_BURST_BITS` bits through the same
+  :class:`~repro.phy.line.BitErrorLine` the campaign injectors use, so
+  damage stays within CRC-32's guaranteed detection length and the
+  ground-truth :class:`~repro.phy.line.LineStats` keep accounting;
+* ``cut`` — loss of signal for a span of intervals: every byte
+  (including anything queued) vanishes, exactly what a fibre cut does
+  to a lane between two add/drop sites;
+* ``storm`` — downstream backpressure: bytes queue in the lane's
+  elastic store and drain, delayed but intact, when the storm lifts
+  (the byte-level analogue of
+  :func:`repro.faults.injectors.backpressure_storm`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults.injectors import MAX_BURST_BITS
+from repro.phy.line import BitErrorLine
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = ["LaneWire"]
+
+
+class LaneWire:
+    """Byte-batch lane with seeded burst/cut/storm impairments."""
+
+    def __init__(self, name: str, *, seed: SeedLike = None) -> None:
+        self.name = name
+        self._rng = make_rng(seed)
+        #: Error-free by default; bursts are injected deterministically.
+        self.line = BitErrorLine(0.0, self._rng)
+        self._cut_until = -1
+        self._storm_until = -1
+        self._pending_burst_bits = 0
+        self._deferred = bytearray()
+        self.octets_dropped = 0
+        self.octets_deferred_peak = 0
+
+    # ------------------------------------------------------------ chaos hooks
+    def cut(self, interval: int, duration: int) -> None:
+        """Lose the signal for ``duration`` intervals starting now."""
+        self._cut_until = max(self._cut_until, interval + duration - 1)
+
+    def storm(self, interval: int, duration: int) -> None:
+        """Backpressure the lane for ``duration`` intervals."""
+        self._storm_until = max(self._storm_until, interval + duration - 1)
+
+    def arm_burst(self, bits: int) -> None:
+        """Flip ``bits`` contiguous bits in the next delivered batch."""
+        if not 1 <= bits <= MAX_BURST_BITS:
+            raise ValueError(
+                f"burst must be 1..{MAX_BURST_BITS} bits to stay within "
+                "CRC-32 guaranteed detection"
+            )
+        self._pending_burst_bits = bits
+
+    # --------------------------------------------------------------- delivery
+    def is_cut(self, interval: int) -> bool:
+        return interval <= self._cut_until
+
+    def is_stormed(self, interval: int) -> bool:
+        return interval <= self._storm_until
+
+    def transmit(self, data: bytes, interval: int) -> bytes:
+        """Push one interval's wire bytes; returns what arrives."""
+        if self.is_cut(interval):
+            self.octets_dropped += len(data) + len(self._deferred)
+            self._deferred.clear()
+            return b""
+        if self.is_stormed(interval):
+            self._deferred.extend(data)
+            self.octets_deferred_peak = max(
+                self.octets_deferred_peak, len(self._deferred)
+            )
+            return b""
+        payload = bytes(self._deferred) + data
+        self._deferred.clear()
+        if not payload:
+            return b""
+        if self._pending_burst_bits:
+            bits = self._pending_burst_bits
+            self._pending_burst_bits = 0
+            start = int(self._rng.integers(0, max(1, 8 * len(payload) - bits)))
+            return self.line.burst(payload, start_bit=start, length_bits=bits)
+        return self.line.transmit(payload)
+
+    def flush(self) -> int:
+        """Drop anything queued (recovery-ladder flush rung)."""
+        dropped = len(self._deferred)
+        self.octets_dropped += dropped
+        self._deferred.clear()
+        return dropped
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "octets_dropped": self.octets_dropped,
+            "octets_deferred_peak": self.octets_deferred_peak,
+            "line_stats": self.line.stats.as_dict(),
+        }

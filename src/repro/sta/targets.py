@@ -49,4 +49,16 @@ def canonical_findings(*, clock_hz: float = 78.125e6) -> List[Finding]:
             clock_hz=clock_hz,
         )
     )
+
+    from repro.resilience.targets import build_dual_lane_topology
+
+    dl_modules, dl_channels = build_dual_lane_topology()
+    findings.extend(
+        analyze_topology(
+            dl_modules,
+            dl_channels,
+            topology_name="resilience-dual-lane",
+            clock_hz=clock_hz,
+        )
+    )
     return findings

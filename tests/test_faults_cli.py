@@ -51,6 +51,32 @@ def test_json_output_is_stable_across_runs(capsys):
     assert first == second
 
 
+def test_json_reruns_reproduce_every_injector(capsys):
+    """Same --seed ⇒ byte-identical reports down to the injector layer.
+
+    The per-trial records carry the derived seeds and the concrete
+    fault events, so this equality proves the whole injector chain —
+    not just the aggregate counts — replays identically.
+    """
+    args = ["faults", "--faults", "8", "--seed", "21", "--json"]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    trials = payload["trials"]
+    assert len(trials) == 8
+    for trial in trials:
+        seeds = trial["derived_seeds"]
+        assert isinstance(seeds["injector"], int)
+        if trial["layer"] == "backpressure":
+            assert isinstance(seeds["stall"], int)
+        if trial["layer"] == "oam":
+            assert isinstance(seeds["upset"], int)
+    assert any(t["event"] is not None for t in trials)
+
+
 def test_width_selects_the_datapath(capsys):
     assert main(["faults", "--faults", "4", "--width", "8", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)

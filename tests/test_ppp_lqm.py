@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ProtocolError
-from repro.ppp.lqm import LinkQualityMonitor, LqrPacket
+from repro.ppp.lqm import LinkQualityMonitor, LqrPacket, counter_delta
 
 
 class TestPacketCodec:
@@ -80,3 +80,61 @@ class TestLossMeasurement:
 
     def test_healthy_before_any_verdict(self):
         assert LinkQualityMonitor().healthy
+
+
+class TestCounterWraparound:
+    """RFC 1333 counters are 32-bit; deltas must be taken mod 2^32."""
+
+    def test_counter_delta_wraps(self):
+        assert counter_delta(5, 0xFFFFFFFB) == 10
+        assert counter_delta(0, 0xFFFFFFFF) == 1
+        assert counter_delta(7, 7) == 0
+
+    def _exchange(self, a, b, *, sent, received):
+        """One measurement interval: A sends, then LQRs both ways."""
+        for i in range(sent):
+            a.count_tx(100)
+            if i < received:
+                b.count_rx(100)
+        b.receive_report(a.build_report())
+        return a.receive_report(b.build_report())
+
+    def test_loss_measured_across_the_wrap(self):
+        a = LinkQualityMonitor(magic=1, quality_threshold=0.05)
+        b = LinkQualityMonitor(magic=2, quality_threshold=0.05)
+        # Park both ends' packet counters just below the wrap, exactly
+        # as a long-lived session would find them.
+        start = (1 << 32) - 20
+        a.out_packets = b.in_packets = start
+        self._exchange(a, b, sent=10, received=10)  # primes the interval
+        # The next interval straddles the wrap: A's out counter and
+        # B's in counter both roll over mid-interval.
+        verdict = self._exchange(a, b, sent=40, received=30)
+        assert verdict.outbound_sent == 40
+        assert verdict.outbound_received == 30
+        assert verdict.outbound_loss == pytest.approx(0.25)
+        assert not a.healthy
+
+    def test_clean_wrap_interval_reports_zero_loss(self):
+        a = LinkQualityMonitor(magic=1)
+        b = LinkQualityMonitor(magic=2)
+        a.out_packets = b.in_packets = (1 << 32) - 3
+        self._exchange(a, b, sent=2, received=2)
+        verdict = self._exchange(a, b, sent=8, received=8)
+        assert verdict.outbound_sent == 8
+        assert verdict.outbound_loss == 0.0
+        assert a.healthy
+
+    def test_inbound_direction_wraps_too(self):
+        a = LinkQualityMonitor(magic=1)
+        b = LinkQualityMonitor(magic=2)
+        # B's transmit counter (A's inbound_expected source) wraps.
+        b.out_packets = (1 << 32) - 4
+        self._exchange(a, b, sent=1, received=1)
+        for _ in range(10):
+            b.count_tx(60)
+            a.count_rx(60)
+        b.receive_report(a.build_report())
+        verdict = a.receive_report(b.build_report())
+        assert verdict.inbound_expected == 10
+        assert verdict.inbound_loss == 0.0

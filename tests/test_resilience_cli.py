@@ -1,0 +1,81 @@
+"""The ``repro resilience`` subcommand: exit codes and reporter output."""
+
+import json
+
+from repro.cli import main
+from repro.resilience.report import JSON_SCHEMA_VERSION
+
+# A small but real soak: chaos, failover and recovery in ~0.3 s.
+SMALL = ["resilience", "--soak", "--intervals", "120", "--events", "6",
+         "--seed", "3"]
+
+
+def test_soak_exits_zero_and_reports(capsys):
+    assert main(SMALL) == 0
+    out = capsys.readouterr().out
+    assert "resilience soak: 120 intervals" in out
+    assert "clean: all resilience invariants held" in out
+    assert "switch @" in out
+    assert "reversions:" in out
+
+
+def test_json_output_is_machine_parseable(capsys):
+    assert main(SMALL + ["--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+    assert payload["traffic"]["undetected_corruptions"] == 0
+    assert payload["traffic"]["submitted"] == 120 * 16
+    assert payload["config"]["switchover_loss_budget"] == 5 * 16
+    assert payload["final_active"] == "working"
+    assert any(e["kind"] == "cut" for e in payload["chaos"])
+    assert payload["switchovers"]
+    assert payload["events"]
+
+
+def test_json_shorthand_flag(capsys):
+    assert main(SMALL + ["--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_json_output_is_stable_across_runs(capsys):
+    args = SMALL + ["--json"]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_events_out_writes_the_artifact(tmp_path, capsys):
+    out_path = tmp_path / "events.json"
+    assert main(SMALL + ["--events-out", str(out_path)]) == 0
+    assert f"wrote {out_path}" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["ok"] is True
+    kinds = {e["category"] for e in payload["events"]}
+    assert {"chaos", "aps"} <= kinds
+
+
+def test_schedule_mode_prints_without_running(capsys):
+    assert main(["resilience", "--schedule", "--intervals", "300",
+                 "--events", "8", "--seed", "5"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 8
+    assert any("cut" in line for line in out)
+    assert any("sabotage" in line for line in out)
+
+
+def test_bad_arguments_are_a_clean_cli_error(capsys):
+    assert main(["resilience", "--intervals", "0"]) == 2
+    assert "--intervals >= 1" in capsys.readouterr().err
+
+
+def test_unsurvivable_chaos_schedule_is_rejected():
+    # 48 intervals cannot host a guarded cut + wait-to-restore cycle.
+    import pytest
+
+    with pytest.raises(ValueError):
+        main(["resilience", "--intervals", "48", "--events", "6"])
